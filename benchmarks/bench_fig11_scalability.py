@@ -1,0 +1,57 @@
+"""Figure 11: speedup versus number of PEs (1 to 256).
+
+Runs the PE-count sweep on all nine full-size benchmarks at FIFO depth 8 and
+checks the scalability conclusions: speedup is near-linear for the large
+layers (Alex/VGG) and saturates for NT-We, whose 600 rows spread too thinly
+over many PEs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_series
+from repro.analysis.scalability import DEFAULT_PE_COUNTS, pe_sweep
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+from benchmarks.conftest import save_report
+
+
+@pytest.fixture(scope="module")
+def sweep(builder):
+    """One PE sweep shared by the three scalability figures' benchmarks."""
+    return pe_sweep(DEFAULT_PE_COUNTS, BENCHMARK_NAMES, builder=builder)
+
+
+def test_fig11_scalability(benchmark, builder, sweep, results_dir):
+    """Regenerate Figure 11."""
+    result = benchmark.pedantic(
+        pe_sweep,
+        kwargs={"pe_counts": (1, 64), "benchmarks": ("Alex-7",), "builder": builder},
+        rounds=1,
+        iterations=1,
+    )
+    assert result["Alex-7"][-1].speedup_vs_1pe > 1.0
+
+    series = {
+        name: {point.num_pes: point.speedup_vs_1pe for point in sweep[name]}
+        for name in BENCHMARK_NAMES
+    }
+    text = "Speedup versus number of PEs (FIFO depth 8):\n"
+    text += render_series(series, x_label="# PEs")
+    save_report(results_dir, "fig11_scalability", text)
+
+    for name in BENCHMARK_NAMES:
+        speedups = {point.num_pes: point.speedup_vs_1pe for point in sweep[name]}
+        # Speedup grows with PE count everywhere.
+        ordered = [speedups[n] for n in sorted(speedups)]
+        assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # Large layers scale nearly linearly to 64 PEs (>= ~60% efficiency).
+    for name in ("Alex-6", "Alex-7", "VGG-6", "NT-Wd"):
+        speedups = {point.num_pes: point.speedup_vs_1pe for point in sweep[name]}
+        assert speedups[64] > 0.6 * 64
+    # NT-We saturates: its speedup at 256 PEs is far below linear.
+    nt_we = {point.num_pes: point.speedup_vs_1pe for point in sweep["NT-We"]}
+    assert nt_we[256] < 0.5 * 256
+    alex7 = {point.num_pes: point.speedup_vs_1pe for point in sweep["Alex-7"]}
+    assert nt_we[256] < alex7[256]

@@ -1,0 +1,50 @@
+"""Figure 12: real work / total work (padding-zero overhead) versus #PEs.
+
+With more PEs each PE's slice of a column is shorter, so zero runs longer
+than 15 (which force padding zeros) become rarer and the fraction of useful
+work rises — the effect that offsets the worsening load balance in Figure 13.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_series
+from repro.analysis.scalability import DEFAULT_PE_COUNTS
+from repro.workloads.benchmarks import BENCHMARK_NAMES, get_benchmark
+
+from benchmarks.conftest import save_report
+
+
+def _real_work_by_pes(builder, benchmarks, pe_counts):
+    """real-work fraction per benchmark and PE count (whole-matrix statistic)."""
+    results = {}
+    for name in benchmarks:
+        spec = get_benchmark(name)
+        results[name] = {
+            num_pes: builder.build(spec, num_pes).real_work_fraction for num_pes in pe_counts
+        }
+    return results
+
+
+def test_fig12_padding_zero_overhead(benchmark, builder, results_dir):
+    """Regenerate Figure 12."""
+    series = benchmark.pedantic(
+        _real_work_by_pes,
+        args=(builder, BENCHMARK_NAMES, DEFAULT_PE_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    text = "Real work / total work versus number of PEs:\n"
+    text += render_series(series, x_label="# PEs")
+    save_report(results_dir, "fig12_padding_zeros", text)
+
+    for name in BENCHMARK_NAMES:
+        fractions = [series[name][n] for n in sorted(series[name])]
+        # Padding overhead shrinks (real work fraction grows) with more PEs.
+        assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+        assert 0.0 < fractions[0] <= 1.0
+        # With 256 PEs the local columns are so short that padding largely vanishes.
+        assert series[name][256] > 0.9
+    # The sparsest layers (VGG-6/7 at 4% density) have the most padding at 1 PE.
+    sparsest = min(series[name][1] for name in BENCHMARK_NAMES)
+    assert min(series["VGG-6"][1], series["VGG-7"][1]) == sparsest
+    assert series["VGG-6"][1] < series["Alex-6"][1] < series["Alex-8"][1]

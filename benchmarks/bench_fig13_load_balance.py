@@ -1,0 +1,43 @@
+"""Figure 13: load-balance efficiency versus number of PEs at FIFO depth 8.
+
+More PEs mean fewer non-zeros per PE per column and therefore more relative
+variance between PEs, so the load-balance efficiency degrades with PE count —
+the counterpart of Figure 12's improving padding overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_series
+from repro.analysis.scalability import DEFAULT_PE_COUNTS, pe_sweep
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+from benchmarks.conftest import save_report
+
+
+def test_fig13_load_balance_vs_pes(benchmark, builder, results_dir):
+    """Regenerate Figure 13."""
+    sweep = benchmark.pedantic(
+        pe_sweep,
+        kwargs={"pe_counts": DEFAULT_PE_COUNTS, "benchmarks": BENCHMARK_NAMES, "builder": builder},
+        rounds=1,
+        iterations=1,
+    )
+    series = {
+        name: {point.num_pes: point.load_balance_efficiency for point in sweep[name]}
+        for name in BENCHMARK_NAMES
+    }
+    text = "Load-balance efficiency versus number of PEs (FIFO depth 8):\n"
+    text += render_series(series, x_label="# PEs")
+    save_report(results_dir, "fig13_load_balance", text)
+
+    for name in BENCHMARK_NAMES:
+        efficiencies = series[name]
+        # A single PE is perfectly balanced by definition.
+        assert efficiencies[1] == pytest.approx(1.0, abs=0.01)
+        # Load balance at 256 PEs is worse than at 1 PE for every benchmark.
+        assert efficiencies[256] < efficiencies[1]
+        assert 0.0 < efficiencies[256] <= 1.0
+    # NT-We (600 rows) suffers the most at high PE counts.
+    assert series["NT-We"][256] == min(series[name][256] for name in BENCHMARK_NAMES)

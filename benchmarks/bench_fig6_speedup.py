@@ -1,0 +1,46 @@
+"""Figure 6: speedup over CPU dense (batch 1) for all seven configurations.
+
+Regenerates the nine-benchmark x seven-configuration speedup chart plus the
+geometric mean, and checks the paper's qualitative claims: EIE wins on every
+benchmark, the geometric-mean speedup over the CPU is in the hundreds, the
+GPU sits in between, and compression alone (without EIE) buys only a few x.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, render_series
+from repro.analysis.speedup import GEOMEAN_KEY, SPEEDUP_CONFIGS, speedup_table
+from repro.baselines.reference import PAPER_EIE_SPEEDUPS, PAPER_SPEEDUP_GEOMEAN
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+from benchmarks.conftest import save_report
+
+
+def test_fig6_speedup_over_cpu(benchmark, builder, eie_config, results_dir):
+    """Regenerate Figure 6."""
+    table = benchmark.pedantic(
+        speedup_table, kwargs={"builder": builder, "eie_config": eie_config}, rounds=1, iterations=1
+    )
+    series = {config: {name: table[name][config] for name in table} for config in SPEEDUP_CONFIGS}
+    text = "Speedup over CPU dense (batch 1):\n" + render_series(series, x_label="Benchmark")
+    text += "\n\nEIE speedups versus the paper (Figure 6, last group):\n"
+    text += format_table(
+        ["Benchmark", "ours", "paper", "ratio"],
+        [
+            [name, table[name]["EIE"], PAPER_EIE_SPEEDUPS[name],
+             table[name]["EIE"] / PAPER_EIE_SPEEDUPS[name]]
+            for name in BENCHMARK_NAMES
+        ],
+    )
+    text += f"\n\nGeometric-mean EIE speedup: ours = {table[GEOMEAN_KEY]['EIE']:.0f}x, " \
+            f"paper = {PAPER_SPEEDUP_GEOMEAN['EIE']:.0f}x"
+    save_report(results_dir, "fig6_speedup", text)
+
+    geomean = table[GEOMEAN_KEY]
+    # Shape checks, not exact matches.
+    assert geomean["EIE"] > 100.0
+    assert geomean["EIE"] > geomean["GPU Compressed"] > geomean["GPU Dense"]
+    assert geomean["CPU Compressed"] < 10.0           # compression alone buys only a few x
+    assert geomean["mGPU Dense"] < 2.0                # the mobile GPU is no faster than the CPU
+    for name in BENCHMARK_NAMES:
+        assert table[name]["EIE"] == max(table[name].values())

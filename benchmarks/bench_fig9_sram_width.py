@@ -1,0 +1,59 @@
+"""Figure 9: SRAM width versus read count, read energy and total energy.
+
+Sweeps the Spmat SRAM interface width from 32 to 512 bits on the AlexNet
+layers (the paper benchmarks this figure on AlexNet) and checks the design
+conclusion: the number of reads falls and the energy per read rises with
+width, and the total read energy is minimised at the 64-bit interface EIE
+uses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.analysis.design_space import DEFAULT_SRAM_WIDTHS, sram_width_sweep
+from repro.analysis.report import format_table
+
+from benchmarks.conftest import save_report
+
+#: The paper benchmarks Figure 9 on the AlexNet layers.
+ALEXNET_LAYERS = ("Alex-6", "Alex-7", "Alex-8")
+
+
+def test_fig9_sram_width_sweep(benchmark, builder, results_dir):
+    """Regenerate Figure 9 (both panels)."""
+    points = benchmark.pedantic(
+        sram_width_sweep,
+        kwargs={"widths": DEFAULT_SRAM_WIDTHS, "benchmarks": ALEXNET_LAYERS, "builder": builder,
+                "num_pes": 64},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [point.benchmark, point.width_bits, point.num_reads, point.energy_per_read_pj,
+         point.total_energy_nj]
+        for point in points
+    ]
+    text = "Spmat SRAM width sweep (AlexNet layers, 64 PEs):\n"
+    text += format_table(
+        ["Layer", "Width (bits)", "# Reads", "Energy/read (pJ)", "Total energy (nJ)"], rows
+    )
+
+    combined: dict[int, float] = defaultdict(float)
+    for point in points:
+        combined[point.width_bits] += point.total_energy_nj
+    text += "\n\nTotal AlexNet Spmat read energy per width (nJ):\n"
+    text += format_table(["Width (bits)", "Total energy (nJ)"], sorted(combined.items()))
+    save_report(results_dir, "fig9_sram_width", text)
+
+    # Reads fall monotonically and energy per read rises monotonically with width.
+    for layer in ALEXNET_LAYERS:
+        layer_points = sorted(
+            (p for p in points if p.benchmark == layer), key=lambda p: p.width_bits
+        )
+        reads = [p.num_reads for p in layer_points]
+        energies = [p.energy_per_read_pj for p in layer_points]
+        assert all(b <= a for a, b in zip(reads, reads[1:]))
+        assert all(b > a for a, b in zip(energies, energies[1:]))
+    # The total-energy optimum is the 64-bit interface the paper selects.
+    assert min(combined, key=combined.get) == 64

@@ -1,0 +1,42 @@
+"""Table V: comparison with existing hardware platforms on AlexNet FC7.
+
+Regenerates the throughput / area / power / efficiency comparison across
+CPU, GPU, mobile GPU, A-Eye, DaDianNao, TrueNorth and the two EIE
+configurations, and checks the headline claims: EIE (256 PE, 28 nm) has
+higher M x V throughput and about an order of magnitude better energy
+efficiency than DaDianNao.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table5_rows
+
+from benchmarks.conftest import save_report
+
+
+def test_table5_platform_comparison(benchmark, builder, results_dir):
+    """Regenerate Table V."""
+    rows = benchmark.pedantic(table5_rows, kwargs={"builder": builder}, rounds=1, iterations=1)
+    text = format_table(
+        ["Platform", "Type", "Tech (nm)", "Clock (MHz)", "Memory", "Quantization",
+         "Area (mm2)", "Power (W)", "Throughput (fps)", "Area eff. (fps/mm2)",
+         "Energy eff. (frames/J)"],
+        [
+            [row["platform"], row["type"], row["technology_nm"], row["clock_mhz"], row["memory"],
+             row["quantization"], row["area_mm2"], row["power_w"], row["throughput_fps"],
+             row["area_efficiency_fps_mm2"], row["energy_efficiency_fpj"]]
+            for row in rows
+        ],
+    )
+    save_report(results_dir, "table5_platforms", text)
+
+    by_name = {row["platform"]: row for row in rows}
+    eie64 = by_name["EIE (64PE, 45nm)"]
+    eie256 = by_name["EIE (256PE, 28nm)"]
+    dadiannao = by_name["DaDianNao"]
+    # Paper headline relations (shape, not exact numbers).
+    assert eie256["throughput_fps"] > dadiannao["throughput_fps"]
+    assert eie64["energy_efficiency_fpj"] > 10 * dadiannao["energy_efficiency_fpj"]
+    assert eie64["power_w"] < 1.0
+    assert eie64["throughput_fps"] > by_name["GeForce Titan X"]["throughput_fps"]

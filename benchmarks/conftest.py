@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper at **full Table III scale** (no down-scaling).  The expensive part —
+generating the Bernoulli sparsity patterns of the nine benchmark layers — is
+shared across all modules through a session-scoped
+:class:`~repro.workloads.generator.WorkloadBuilder`, and every benchmark
+writes the rows/series it regenerates to ``results/<name>.txt`` so they can be
+compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EIEConfig
+from repro.workloads.generator import WorkloadBuilder
+
+#: Where the regenerated tables/figures are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def builder() -> WorkloadBuilder:
+    """One workload builder (and pattern cache) for the whole benchmark run."""
+    return WorkloadBuilder()
+
+
+@pytest.fixture(scope="session")
+def eie_config() -> EIEConfig:
+    """The paper's 64-PE, 800 MHz, FIFO-depth-8 design point."""
+    return EIEConfig()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the regenerated tables and figure series are written to."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    """Write one regenerated table/figure to ``results/<name>.txt`` and echo it."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,81 @@
+"""repro: a reproduction of EIE, the Efficient Inference Engine (ISCA 2016).
+
+The library implements, in pure Python + numpy:
+
+* the Deep Compression pipeline (pruning, 4-bit weight sharing,
+  relative-indexed interleaved CSC encoding, Huffman storage accounting);
+* the EIE accelerator itself — functional (bit-exact) simulation, a
+  cycle-level performance model, and an RTL-style two-phase micro-simulator;
+* hardware cost models (Table I energies, the Table II PE area/power
+  breakdown, an SRAM read-energy model, technology scaling);
+* analytic baseline platforms (CPU, GPU, mobile GPU, DaDianNao, ...);
+* the nine Table III benchmark workloads and the analysis code that
+  regenerates every table and figure of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import EIEAccelerator, EIEConfig
+
+    accelerator = EIEAccelerator(EIEConfig(num_pes=8))
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=(256, 512)) * (rng.random((256, 512)) < 0.1)
+    layer = accelerator.compress_and_load(weights, name="fc")
+    result = accelerator.run(rng.random(512))[-1]
+    estimate = accelerator.estimate_layer(layer, rng.random(512))
+    print(result.output.shape, estimate.performance.time_us)
+"""
+
+from repro.compression import (
+    CompressedLayer,
+    CompressionConfig,
+    CSCMatrix,
+    DeepCompressor,
+    HuffmanCode,
+    InterleavedCSC,
+    WeightCodebook,
+    prune_to_density,
+)
+from repro.core import (
+    CycleAccurateEIE,
+    CycleStats,
+    EIEAccelerator,
+    EIEConfig,
+    FunctionalEIE,
+    FunctionalResult,
+    LayerEstimate,
+)
+from repro.hardware import ENERGY_TABLE_45NM, EnergyModel, PEAreaModel
+from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
+from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "CSCMatrix",
+    "CompressedLayer",
+    "CompressionConfig",
+    "CycleAccurateEIE",
+    "CycleStats",
+    "DeepCompressor",
+    "EIEAccelerator",
+    "EIEConfig",
+    "ENERGY_TABLE_45NM",
+    "EnergyModel",
+    "FeedForwardNetwork",
+    "FullyConnectedLayer",
+    "FunctionalEIE",
+    "FunctionalResult",
+    "HuffmanCode",
+    "InterleavedCSC",
+    "LSTMCell",
+    "LayerEstimate",
+    "LayerSpec",
+    "PEAreaModel",
+    "WeightCodebook",
+    "WorkloadBuilder",
+    "__version__",
+    "prune_to_density",
+]

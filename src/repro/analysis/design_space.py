@@ -1,0 +1,204 @@
+"""Design-space exploration: Figures 8, 9 and 10.
+
+* :func:`fifo_depth_sweep` — load-balance efficiency versus activation queue
+  depth (Figure 8).  Diminishing returns beyond a depth of 8.
+* :func:`sram_width_sweep` — number of Spmat SRAM reads, energy per read and
+  total read energy versus interface width (Figure 9).  64 bits minimises the
+  total energy.
+* :func:`precision_study` — prediction-accuracy proxy and multiplier energy
+  versus arithmetic precision (Figure 10).  16-bit fixed point is within a
+  fraction of a percent of float while 8-bit collapses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import EIEConfig
+from repro.hardware.energy import multiply_energy_pj
+from repro.hardware.sram import sram_read_energy_pj
+from repro.nn.fixed_point import FORMATS, FixedPointFormat
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.model import FeedForwardNetwork
+from repro.utils.rng import make_rng
+from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
+from repro.workloads.generator import WorkloadBuilder
+
+__all__ = [
+    "fifo_depth_sweep",
+    "SramWidthPoint",
+    "sram_width_sweep",
+    "PrecisionPoint",
+    "precision_study",
+    "DEFAULT_FIFO_DEPTHS",
+    "DEFAULT_SRAM_WIDTHS",
+]
+
+#: FIFO depths swept in Figure 8.
+DEFAULT_FIFO_DEPTHS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: SRAM interface widths swept in Figure 9.
+DEFAULT_SRAM_WIDTHS: tuple[int, ...] = (32, 64, 128, 256, 512)
+#: Baseline ImageNet top-1-style accuracy of the float32 model (Figure 10).
+FLOAT32_REFERENCE_ACCURACY = 0.803
+
+
+def fifo_depth_sweep(
+    depths: Sequence[int] = DEFAULT_FIFO_DEPTHS,
+    benchmarks: "Iterable[str | LayerSpec]" = BENCHMARK_NAMES,
+    num_pes: int = 64,
+    builder: WorkloadBuilder | None = None,
+    clock_mhz: float = 800.0,
+) -> dict[str, dict[int, float]]:
+    """Figure 8: load-balance efficiency per benchmark and FIFO depth."""
+    builder = builder or WorkloadBuilder()
+    results: dict[str, dict[int, float]] = {}
+    for benchmark in benchmarks:
+        spec = resolve_spec(benchmark)
+        workload = builder.build(spec, num_pes)
+        per_depth: dict[int, float] = {}
+        for depth in depths:
+            config = EIEConfig(num_pes=num_pes, fifo_depth=int(depth), clock_mhz=clock_mhz)
+            stats = workload.simulate(config)
+            per_depth[int(depth)] = stats.load_balance_efficiency
+        results[spec.name] = per_depth
+    return results
+
+
+@dataclass(frozen=True)
+class SramWidthPoint:
+    """One point of the Figure 9 sweep for one benchmark."""
+
+    benchmark: str
+    width_bits: int
+    num_reads: int
+    energy_per_read_pj: float
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total Spmat read energy for one inference, in nanojoules."""
+        return self.num_reads * self.energy_per_read_pj / 1e3
+
+
+def sram_width_sweep(
+    widths: Sequence[int] = DEFAULT_SRAM_WIDTHS,
+    benchmarks: "Iterable[str | LayerSpec]" = BENCHMARK_NAMES,
+    num_pes: int = 64,
+    builder: WorkloadBuilder | None = None,
+    spmat_sram_kb: float = 128.0,
+    entry_bits: int = 8,
+) -> list[SramWidthPoint]:
+    """Figure 9: Spmat SRAM reads and read energy versus interface width.
+
+    The number of reads is counted per touched (PE, column) pair: a PE
+    streaming ``k`` encoded entries of a column needs ``ceil(k / (width /
+    entry_bits))`` reads, so wide interfaces waste reads on short columns —
+    the effect that makes 64 bits the optimum.
+    """
+    builder = builder or WorkloadBuilder()
+    points: list[SramWidthPoint] = []
+    for benchmark in benchmarks:
+        spec = resolve_spec(benchmark)
+        workload = builder.build(spec, num_pes)
+        work = workload.work
+        for width in widths:
+            entries_per_read = max(1, int(width) // entry_bits)
+            reads = int(np.ceil(work / entries_per_read).sum())
+            energy = sram_read_energy_pj(int(width), spmat_sram_kb)
+            points.append(
+                SramWidthPoint(
+                    benchmark=spec.name,
+                    width_bits=int(width),
+                    num_reads=reads,
+                    energy_per_read_pj=energy,
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """One bar pair of Figure 10: accuracy proxy and multiply energy."""
+
+    precision: str
+    accuracy: float
+    multiply_energy_pj: float
+    agreement_with_float: float
+
+
+def _build_proxy_classifier(
+    input_size: int, hidden_size: int, classes: int, rng: np.random.Generator
+) -> FeedForwardNetwork:
+    """A small FC classifier standing in for the AlexNet FC stack."""
+    hidden = FullyConnectedLayer(
+        weight=rng.normal(0.0, 0.12, size=(hidden_size, input_size)),
+        activation="relu",
+        name="proxy-hidden",
+    )
+    logits = FullyConnectedLayer(
+        weight=rng.normal(0.0, 0.12, size=(classes, hidden_size)),
+        activation="identity",
+        name="proxy-logits",
+    )
+    return FeedForwardNetwork([hidden, logits], name="precision-proxy")
+
+
+def _quantized_forward(
+    network: FeedForwardNetwork, inputs: np.ndarray, fmt: FixedPointFormat | None
+) -> np.ndarray:
+    """Forward pass with weights and activations quantised to ``fmt``."""
+    current = inputs if fmt is None else fmt.quantize(inputs)
+    for layer in network.layers:
+        weight = layer.weight if fmt is None else fmt.quantize(layer.weight)
+        pre = weight @ current
+        if fmt is not None:
+            pre = fmt.quantize(pre)
+        if layer.activation == "relu":
+            current = np.maximum(pre, 0.0)
+        else:
+            current = pre
+    return current
+
+
+def precision_study(
+    precisions: Sequence[str] = ("float32", "int32", "int16", "int8"),
+    num_samples: int = 256,
+    input_size: int = 128,
+    hidden_size: int = 96,
+    classes: int = 64,
+    seed: int = 42,
+    reference_accuracy: float = FLOAT32_REFERENCE_ACCURACY,
+) -> list[PrecisionPoint]:
+    """Figure 10: accuracy proxy and multiplier energy per arithmetic precision.
+
+    Because ImageNet is not available offline, accuracy is modelled as the
+    float32 reference accuracy multiplied by the fraction of inputs whose
+    arg-max prediction is unchanged under quantisation (a standard proxy for
+    quantisation-induced accuracy loss).  The multiply energies come from the
+    Table I-derived figures quoted in the paper.
+    """
+    rng = make_rng(seed)
+    network = _build_proxy_classifier(input_size, hidden_size, classes, rng)
+    inputs = rng.normal(0.0, 1.0, size=(num_samples, input_size))
+    reference_predictions = np.array(
+        [int(np.argmax(_quantized_forward(network, sample, None))) for sample in inputs]
+    )
+    points: list[PrecisionPoint] = []
+    for precision in precisions:
+        fmt = FORMATS[precision]
+        predictions = np.array(
+            [int(np.argmax(_quantized_forward(network, sample, fmt))) for sample in inputs]
+        )
+        agreement = float(np.mean(predictions == reference_predictions))
+        accuracy = reference_accuracy * agreement
+        points.append(
+            PrecisionPoint(
+                precision=precision,
+                accuracy=accuracy,
+                multiply_energy_pj=multiply_energy_pj(precision),
+                agreement_with_float=agreement,
+            )
+        )
+    return points

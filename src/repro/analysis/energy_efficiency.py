@@ -1,0 +1,76 @@
+"""Figure 7: energy efficiency of every platform over CPU dense at batch 1.
+
+Energy is computation time multiplied by the platform's power while running
+M x V (the paper measures power with pcm-power / nvidia-smi / a power meter;
+we use the same per-platform power figures as Table V).  EIE's power comes
+from the per-PE Table II breakdown plus the LNZD tree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.report import geometric_mean
+from repro.analysis.speedup import GEOMEAN_KEY, SPEEDUP_CONFIGS
+from repro.baselines.roofline import RooflinePlatform
+from repro.baselines.specs import CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1
+from repro.core.config import EIEConfig
+from repro.hardware.area import chip_power_w
+from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
+from repro.workloads.generator import WorkloadBuilder
+
+__all__ = ["layer_energies", "energy_efficiency_table"]
+
+
+def layer_energies(
+    benchmark: "str | LayerSpec",
+    builder: WorkloadBuilder,
+    eie_config: EIEConfig | None = None,
+    batch: int = 1,
+) -> dict[str, float]:
+    """Per-frame energy in joules of every Figure 7 configuration for one layer."""
+    eie_config = eie_config or EIEConfig()
+    spec = resolve_spec(benchmark)
+    cpu = RooflinePlatform(CPU_CORE_I7_5930K)
+    gpu = RooflinePlatform(GPU_TITAN_X)
+    mgpu = RooflinePlatform(MOBILE_GPU_TEGRA_K1)
+    workload = builder.build(spec, eie_config.num_pes)
+    eie_stats = workload.simulate(eie_config)
+    eie_power = chip_power_w(eie_config.num_pes)
+    return {
+        "CPU Dense": cpu.dense_time_s(spec, batch) * CPU_CORE_I7_5930K.power_w,
+        "CPU Compressed": cpu.sparse_time_s(spec, batch) * CPU_CORE_I7_5930K.power_w,
+        "GPU Dense": gpu.dense_time_s(spec, batch) * GPU_TITAN_X.power_w,
+        "GPU Compressed": gpu.sparse_time_s(spec, batch) * GPU_TITAN_X.power_w,
+        "mGPU Dense": mgpu.dense_time_s(spec, batch) * MOBILE_GPU_TEGRA_K1.power_w,
+        "mGPU Compressed": mgpu.sparse_time_s(spec, batch) * MOBILE_GPU_TEGRA_K1.power_w,
+        "EIE": eie_stats.time_s * eie_power,
+    }
+
+
+def energy_efficiency_table(
+    benchmarks: "Iterable[str | LayerSpec]" = BENCHMARK_NAMES,
+    builder: WorkloadBuilder | None = None,
+    eie_config: EIEConfig | None = None,
+    batch: int = 1,
+) -> dict[str, dict[str, float]]:
+    """Figure 7 data: energy efficiency relative to CPU dense, per layer.
+
+    Returns ``{benchmark: {configuration: efficiency}}`` plus a ``"Geo Mean"``
+    entry; efficiency is CPU-dense energy divided by the configuration's
+    energy (larger is better).
+    """
+    builder = builder or WorkloadBuilder()
+    table: dict[str, dict[str, float]] = {}
+    for benchmark in benchmarks:
+        spec = resolve_spec(benchmark)
+        energies = layer_energies(spec, builder, eie_config, batch)
+        baseline = energies["CPU Dense"]
+        table[spec.name] = {name: baseline / energies[name] for name in SPEEDUP_CONFIGS}
+    table[GEOMEAN_KEY] = {
+        name: geometric_mean(
+            [table[benchmark][name] for benchmark in table if benchmark != GEOMEAN_KEY]
+        )
+        for name in SPEEDUP_CONFIGS
+    }
+    return table

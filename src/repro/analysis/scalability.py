@@ -1,0 +1,87 @@
+"""Scalability study: Figures 11, 12 and 13.
+
+Sweeping the number of PEs from 1 to 256 (FIFO depth 8) per benchmark:
+
+* Figure 11 — speedup relative to a single PE (near-linear except NT-We,
+  whose 600 rows spread too thinly over many PEs);
+* Figure 12 — real work / total work: padding zeros *decrease* with more PEs
+  because each PE's local column slice gets shorter, so zero runs longer than
+  15 become rarer;
+* Figure 13 — load-balance efficiency: more PEs means fewer entries per PE
+  per column and therefore more variance, i.e. worse balance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.config import EIEConfig
+from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
+from repro.workloads.generator import WorkloadBuilder
+
+__all__ = ["ScalabilityPoint", "pe_sweep", "DEFAULT_PE_COUNTS"]
+
+#: PE counts swept in Figures 11-13.
+DEFAULT_PE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Results for one (benchmark, PE count) pair.
+
+    Attributes:
+        benchmark: benchmark name.
+        num_pes: number of PEs simulated.
+        total_cycles: wall-clock cycles of the layer.
+        speedup_vs_1pe: cycles at one PE divided by cycles at this PE count.
+        load_balance_efficiency: 1 - bubble cycles / total cycles (Figure 13).
+        real_work_fraction: useful entries / stored entries (Figure 12).
+    """
+
+    benchmark: str
+    num_pes: int
+    total_cycles: int
+    speedup_vs_1pe: float
+    load_balance_efficiency: float
+    real_work_fraction: float
+
+
+def pe_sweep(
+    pe_counts: Sequence[int] = DEFAULT_PE_COUNTS,
+    benchmarks: "Iterable[str | LayerSpec]" = BENCHMARK_NAMES,
+    fifo_depth: int = 8,
+    builder: WorkloadBuilder | None = None,
+    clock_mhz: float = 800.0,
+) -> dict[str, list[ScalabilityPoint]]:
+    """Run the PE-count sweep behind Figures 11, 12 and 13.
+
+    Returns one list of :class:`ScalabilityPoint` per benchmark, ordered by
+    PE count.  The speedup is measured against the smallest PE count in the
+    sweep (the paper uses 1 PE).
+    """
+    builder = builder or WorkloadBuilder()
+    results: dict[str, list[ScalabilityPoint]] = {}
+    for benchmark in benchmarks:
+        spec = resolve_spec(benchmark)
+        points: list[ScalabilityPoint] = []
+        baseline_cycles: int | None = None
+        for num_pes in pe_counts:
+            workload = builder.build(spec, int(num_pes))
+            config = EIEConfig(num_pes=int(num_pes), fifo_depth=fifo_depth, clock_mhz=clock_mhz)
+            stats = workload.simulate(config)
+            if baseline_cycles is None:
+                baseline_cycles = stats.total_cycles
+            speedup = baseline_cycles / stats.total_cycles if stats.total_cycles else 0.0
+            points.append(
+                ScalabilityPoint(
+                    benchmark=spec.name,
+                    num_pes=int(num_pes),
+                    total_cycles=stats.total_cycles,
+                    speedup_vs_1pe=speedup,
+                    load_balance_efficiency=stats.load_balance_efficiency,
+                    real_work_fraction=workload.real_work_fraction,
+                )
+            )
+        results[spec.name] = points
+    return results

@@ -1,0 +1,86 @@
+"""Figure 6: speedup of every platform over CPU dense at batch size 1.
+
+For each of the nine benchmarks the paper reports seven bars: CPU dense (the
+baseline), CPU compressed, GPU dense, GPU compressed, mobile-GPU dense,
+mobile-GPU compressed, and EIE running the compressed model, all without
+batching.  The last group is the geometric mean.  This module computes the
+per-frame times from the roofline baselines and the EIE cycle model, and the
+resulting speedups relative to CPU dense.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.analysis.report import geometric_mean
+from repro.baselines.roofline import RooflinePlatform
+from repro.baselines.specs import CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1
+from repro.core.config import EIEConfig
+from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
+from repro.workloads.generator import WorkloadBuilder
+
+__all__ = ["SPEEDUP_CONFIGS", "layer_times", "speedup_table", "GEOMEAN_KEY"]
+
+#: The seven bars of Figure 6, in plot order.
+SPEEDUP_CONFIGS: tuple[str, ...] = (
+    "CPU Dense",
+    "CPU Compressed",
+    "GPU Dense",
+    "GPU Compressed",
+    "mGPU Dense",
+    "mGPU Compressed",
+    "EIE",
+)
+
+#: Key used for the aggregated column.
+GEOMEAN_KEY = "Geo Mean"
+
+
+def layer_times(
+    benchmark: "str | LayerSpec",
+    builder: WorkloadBuilder,
+    eie_config: EIEConfig | None = None,
+    batch: int = 1,
+) -> dict[str, float]:
+    """Per-frame time in seconds of every Figure 6 configuration for one layer."""
+    eie_config = eie_config or EIEConfig()
+    spec = resolve_spec(benchmark)
+    cpu = RooflinePlatform(CPU_CORE_I7_5930K)
+    gpu = RooflinePlatform(GPU_TITAN_X)
+    mgpu = RooflinePlatform(MOBILE_GPU_TEGRA_K1)
+    workload = builder.build(spec, eie_config.num_pes)
+    eie_stats = workload.simulate(eie_config)
+    return {
+        "CPU Dense": cpu.dense_time_s(spec, batch),
+        "CPU Compressed": cpu.sparse_time_s(spec, batch),
+        "GPU Dense": gpu.dense_time_s(spec, batch),
+        "GPU Compressed": gpu.sparse_time_s(spec, batch),
+        "mGPU Dense": mgpu.dense_time_s(spec, batch),
+        "mGPU Compressed": mgpu.sparse_time_s(spec, batch),
+        "EIE": eie_stats.time_s,
+    }
+
+
+def speedup_table(
+    benchmarks: "Iterable[str | LayerSpec]" = BENCHMARK_NAMES,
+    builder: WorkloadBuilder | None = None,
+    eie_config: EIEConfig | None = None,
+    batch: int = 1,
+) -> dict[str, dict[str, float]]:
+    """Figure 6 data: speedup of each configuration over CPU dense, per layer.
+
+    Returns ``{benchmark: {configuration: speedup}}`` plus a ``"Geo Mean"``
+    entry aggregating over the benchmarks.
+    """
+    builder = builder or WorkloadBuilder()
+    table: dict[str, dict[str, float]] = {}
+    for benchmark in benchmarks:
+        spec = resolve_spec(benchmark)
+        times = layer_times(spec, builder, eie_config, batch)
+        baseline = times["CPU Dense"]
+        table[spec.name] = {name: baseline / times[name] for name in SPEEDUP_CONFIGS}
+    table[GEOMEAN_KEY] = {
+        name: geometric_mean([table[benchmark][name] for benchmark in table if benchmark != GEOMEAN_KEY])
+        for name in SPEEDUP_CONFIGS
+    }
+    return table

@@ -1,0 +1,219 @@
+"""Table V: cross-platform comparison on the AlexNet FC7 layer.
+
+For CPU, GPU and the mobile GPU the throughput comes from the roofline
+models; for DaDianNao from the bandwidth-bound model; A-Eye and TrueNorth are
+carried as published figures (the paper likewise quotes their publications).
+The two EIE rows are produced by the cycle-level simulator plus the
+area/power models, with the 256-PE configuration projected to 28 nm using the
+technology-scaling rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dadiannao import DaDianNaoModel
+from repro.baselines.roofline import RooflinePlatform
+from repro.baselines.specs import CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1
+from repro.core.config import EIEConfig
+from repro.hardware.area import chip_area_mm2, chip_power_w
+from repro.hardware.technology import NODE_28NM, NODE_45NM, project
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.generator import WorkloadBuilder
+
+__all__ = [
+    "PlatformComparison",
+    "OTHER_ACCELERATORS",
+    "EIE_PLATFORM_45NM_64PE",
+    "EIE_PLATFORM_28NM_256PE",
+    "build_table5",
+]
+
+
+@dataclass
+class PlatformComparison:
+    """One row of the Table V comparison.
+
+    Attributes mirror the table: throughput (frames/s of AlexNet FC7 M x V),
+    area, power, and the two derived efficiency metrics.
+    """
+
+    name: str
+    platform_type: str
+    year: int
+    technology_nm: int
+    clock_mhz: float | None
+    memory_type: str
+    quantization: str
+    max_model_params: float
+    area_mm2: float | None
+    power_w: float
+    throughput_fps: float
+
+    @property
+    def area_efficiency(self) -> float | None:
+        """Frames per second per mm^2 (``None`` when area is unknown)."""
+        if self.area_mm2 is None or self.area_mm2 <= 0:
+            return None
+        return self.throughput_fps / self.area_mm2
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Frames per joule."""
+        if self.power_w <= 0:
+            return 0.0
+        return self.throughput_fps / self.power_w
+
+
+@dataclass(frozen=True)
+class _PublishedAccelerator:
+    """An accelerator carried with its published Table V numbers."""
+
+    name: str
+    platform_type: str
+    year: int
+    technology_nm: int
+    clock_mhz: float | None
+    memory_type: str
+    quantization: str
+    max_model_params: float
+    area_mm2: float | None
+    power_w: float
+    throughput_fps: float
+
+
+#: A-Eye (FPGA) and TrueNorth (ASIC) rows, as published.
+OTHER_ACCELERATORS: tuple[_PublishedAccelerator, ...] = (
+    _PublishedAccelerator(
+        name="A-Eye",
+        platform_type="FPGA",
+        year=2015,
+        technology_nm=28,
+        clock_mhz=150.0,
+        memory_type="DRAM",
+        quantization="16-bit fixed",
+        max_model_params=500e6,
+        area_mm2=None,
+        power_w=9.63,
+        throughput_fps=33.0,
+    ),
+    _PublishedAccelerator(
+        name="TrueNorth",
+        platform_type="ASIC",
+        year=2014,
+        technology_nm=28,
+        clock_mhz=None,
+        memory_type="SRAM",
+        quantization="1-bit fixed",
+        max_model_params=256e6,
+        area_mm2=430.0,
+        power_w=0.18,
+        throughput_fps=1989.0,
+    ),
+)
+
+#: The two EIE configurations compared in Table V.
+EIE_PLATFORM_45NM_64PE = EIEConfig(num_pes=64, clock_mhz=800.0)
+EIE_PLATFORM_28NM_256PE = EIEConfig(num_pes=256, clock_mhz=1200.0)
+
+
+def _eie_row(
+    config: EIEConfig,
+    builder: WorkloadBuilder,
+    benchmark: str,
+    technology_nm: int,
+    name: str,
+) -> PlatformComparison:
+    """Build one EIE row of Table V from the cycle model and area models."""
+    spec = get_benchmark(benchmark)
+    workload = builder.build(spec, config.num_pes)
+    stats = workload.simulate(config)
+    area = chip_area_mm2(config.num_pes)
+    power = chip_power_w(config.num_pes)
+    if technology_nm == 28:
+        projected = project(area, power, config.clock_mhz, NODE_45NM, NODE_28NM)
+        area = projected["area_mm2"]
+        power = projected["power_w"]
+    capacity = config.total_weight_capacity
+    return PlatformComparison(
+        name=name,
+        platform_type="ASIC",
+        year=2016,
+        technology_nm=technology_nm,
+        clock_mhz=config.clock_mhz,
+        memory_type="SRAM",
+        quantization="4-bit fixed",
+        max_model_params=float(capacity),
+        area_mm2=area,
+        power_w=power,
+        throughput_fps=1.0 / stats.time_s if stats.time_s > 0 else 0.0,
+    )
+
+
+def build_table5(
+    benchmark: str = "Alex-7",
+    builder: WorkloadBuilder | None = None,
+) -> list[PlatformComparison]:
+    """Regenerate Table V: every platform's throughput/area/energy efficiency."""
+    builder = builder or WorkloadBuilder()
+    spec = get_benchmark(benchmark)
+    rows: list[PlatformComparison] = []
+    for platform_spec in (CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1):
+        model = RooflinePlatform(platform_spec)
+        time_s = model.dense_time_s(spec, batch=1)
+        rows.append(
+            PlatformComparison(
+                name=platform_spec.name,
+                platform_type=platform_spec.platform_type,
+                year=platform_spec.year,
+                technology_nm=platform_spec.technology_nm,
+                clock_mhz=platform_spec.clock_mhz,
+                memory_type=platform_spec.memory_type,
+                quantization="32-bit float",
+                max_model_params=platform_spec.max_model_params,
+                area_mm2=platform_spec.area_mm2,
+                power_w=platform_spec.power_w,
+                throughput_fps=1.0 / time_s,
+            )
+        )
+    for published in OTHER_ACCELERATORS:
+        rows.append(
+            PlatformComparison(
+                name=published.name,
+                platform_type=published.platform_type,
+                year=published.year,
+                technology_nm=published.technology_nm,
+                clock_mhz=published.clock_mhz,
+                memory_type=published.memory_type,
+                quantization=published.quantization,
+                max_model_params=published.max_model_params,
+                area_mm2=published.area_mm2,
+                power_w=published.power_w,
+                throughput_fps=published.throughput_fps,
+            )
+        )
+    dadiannao = DaDianNaoModel()
+    rows.append(
+        PlatformComparison(
+            name=dadiannao.name,
+            platform_type="ASIC",
+            year=2014,
+            technology_nm=dadiannao.technology_nm,
+            clock_mhz=dadiannao.clock_mhz,
+            memory_type="eDRAM",
+            quantization="16-bit fixed",
+            max_model_params=dadiannao.max_model_params,
+            area_mm2=dadiannao.area_mm2,
+            power_w=dadiannao.power_w,
+            throughput_fps=dadiannao.frames_per_second(spec),
+        )
+    )
+    rows.append(
+        _eie_row(EIE_PLATFORM_45NM_64PE, builder, benchmark, technology_nm=45,
+                 name="EIE (64PE, 45nm)")
+    )
+    rows.append(
+        _eie_row(EIE_PLATFORM_28NM_256PE, builder, benchmark, technology_nm=28,
+                 name="EIE (256PE, 28nm)")
+    )
+    return rows

@@ -1,0 +1,116 @@
+"""Static descriptions of the comparison platforms.
+
+The headline attributes (year, technology node, clock, memory type, power,
+area) come from Table V of the paper.  The roofline parameters (effective
+dense/sparse compute throughput and memory bandwidth) are calibrated so the
+analytic timing model reproduces the paper's measured Table IV wall-clock
+times on the AlexNet FC6 layer; see
+:mod:`repro.baselines.roofline` for how they are used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "PlatformSpec",
+    "CPU_CORE_I7_5930K",
+    "GPU_TITAN_X",
+    "MOBILE_GPU_TEGRA_K1",
+]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Headline characteristics and roofline parameters of one platform.
+
+    Attributes:
+        name: platform name as used in the paper.
+        platform_type: CPU / GPU / mGPU / FPGA / ASIC.
+        year: year of introduction (Table V).
+        technology_nm: process node.
+        clock_mhz: clock frequency.
+        memory_type: main weight store (DRAM / eDRAM / SRAM).
+        power_w: measured power while running M x V.
+        area_mm2: die area (``None`` where the paper does not report it).
+        max_model_params: largest DNN model the platform can hold.
+        dense_gflops: effective dense GEMM throughput (batched).
+        dense_bandwidth_gbs: effective DRAM bandwidth for dense GEMV.
+        sparse_gflops: effective sparse-kernel throughput (batched).
+        sparse_bandwidth_gbs: effective DRAM bandwidth for sparse M x V.
+    """
+
+    name: str
+    platform_type: str
+    year: int
+    technology_nm: int
+    clock_mhz: float
+    memory_type: str
+    power_w: float
+    area_mm2: float | None
+    max_model_params: float
+    dense_gflops: float
+    dense_bandwidth_gbs: float
+    sparse_gflops: float
+    sparse_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        require_positive("power_w", self.power_w)
+        require_positive("dense_gflops", self.dense_gflops)
+        require_positive("dense_bandwidth_gbs", self.dense_bandwidth_gbs)
+        require_positive("sparse_gflops", self.sparse_gflops)
+        require_positive("sparse_bandwidth_gbs", self.sparse_bandwidth_gbs)
+
+
+#: Intel Core i7-5930K (Haswell-E), MKL CBLAS GEMV / MKL SPBLAS CSRMV.
+CPU_CORE_I7_5930K = PlatformSpec(
+    name="Core i7-5930K",
+    platform_type="CPU",
+    year=2014,
+    technology_nm=22,
+    clock_mhz=3500.0,
+    memory_type="DRAM",
+    power_w=73.0,
+    area_mm2=356.0,
+    max_model_params=16e9,
+    dense_gflops=237.0,
+    dense_bandwidth_gbs=20.0,
+    sparse_gflops=4.8,
+    sparse_bandwidth_gbs=8.9,
+)
+
+#: NVIDIA GeForce GTX Titan X, cuBLAS GEMV / cuSPARSE CSRMV.
+GPU_TITAN_X = PlatformSpec(
+    name="GeForce Titan X",
+    platform_type="GPU",
+    year=2015,
+    technology_nm=28,
+    clock_mhz=1075.0,
+    memory_type="DRAM",
+    power_w=159.0,
+    area_mm2=601.0,
+    max_model_params=3e9,
+    dense_gflops=3800.0,
+    dense_bandwidth_gbs=280.0,
+    sparse_gflops=72.0,
+    sparse_bandwidth_gbs=202.0,
+)
+
+#: NVIDIA Tegra K1 (192 CUDA cores), cuBLAS GEMV / cuSPARSE CSRMV.
+MOBILE_GPU_TEGRA_K1 = PlatformSpec(
+    name="Tegra K1",
+    platform_type="mGPU",
+    year=2014,
+    technology_nm=28,
+    clock_mhz=852.0,
+    memory_type="DRAM",
+    power_w=5.1,
+    area_mm2=None,
+    max_model_params=500e6,
+    dense_gflops=45.0,
+    dense_bandwidth_gbs=12.1,
+    sparse_gflops=1.7,
+    sparse_bandwidth_gbs=9.4,
+)

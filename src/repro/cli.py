@@ -1,0 +1,226 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage (after installing the package)::
+
+    python -m repro.cli table 1                        # Table I
+    python -m repro.cli table 4 --pes 64               # Table IV on 64 PEs
+    python -m repro.cli figure 8                       # Figure 8 FIFO-depth sweep
+    python -m repro.cli figure 11 --benchmarks Alex-6 NT-We
+    python -m repro.cli ablation partitioning --benchmarks Alex-7
+    python -m repro.cli summary                        # headline configuration
+
+Figures 6-13 and Tables IV-V generate the full-size Table III workloads, so
+the first invocation in a process takes tens of seconds; the benchmark
+harness (``pytest benchmarks/ --benchmark-only``) shares one cache across all
+of them and is the faster way to regenerate everything at once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.analysis.ablation import (
+    codebook_bits_ablation,
+    index_width_ablation,
+    partitioning_ablation,
+)
+from repro.analysis.design_space import fifo_depth_sweep, precision_study, sram_width_sweep
+from repro.analysis.energy_efficiency import energy_efficiency_table
+from repro.analysis.report import format_table, render_series
+from repro.analysis.scalability import pe_sweep
+from repro.analysis.speedup import speedup_table
+from repro.analysis.tables import table1_rows, table2_rows, table3_rows, table4_rows, table5_rows
+from repro.core.config import EIEConfig
+from repro.hardware.area import chip_area_mm2, chip_power_w
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+from repro.workloads.generator import WorkloadBuilder
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-eie`` command."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--pes", type=int, default=64, help="number of processing elements")
+    common.add_argument("--fifo-depth", type=int, default=8, help="activation FIFO depth")
+    common.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=list(BENCHMARK_NAMES),
+        choices=list(BENCHMARK_NAMES),
+        help="subset of Table III benchmarks to run",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro-eie",
+        description="Regenerate the tables, figures and ablations of the EIE paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table_parser = subparsers.add_parser("table", parents=[common], help="regenerate Table I-V")
+    table_parser.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+
+    figure_parser = subparsers.add_parser("figure", parents=[common], help="regenerate Figure 6-13")
+    figure_parser.add_argument("number", type=int, choices=tuple(range(6, 14)))
+
+    ablation_parser = subparsers.add_parser(
+        "ablation", parents=[common], help="run a design-choice ablation"
+    )
+    ablation_parser.add_argument(
+        "which", choices=("index-width", "codebook-bits", "partitioning")
+    )
+
+    subparsers.add_parser(
+        "summary", parents=[common], help="print the accelerator's headline characteristics"
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> EIEConfig:
+    return EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
+
+
+def _run_table(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
+    number = args.number
+    if number == 1:
+        rows = table1_rows()
+        return format_table(
+            ["Operation", "Energy [pJ]", "Relative cost"],
+            [[r["operation"], r["energy_pj"], r["relative_cost"]] for r in rows],
+        )
+    if number == 2:
+        rows = table2_rows()
+        return format_table(
+            ["Name", "Group", "Power (mW)", "Power (%)", "Area (um2)", "Area (%)"],
+            [[r["name"], r.get("group", ""), r["power_mw"], r["power_pct"], r["area_um2"],
+              r["area_pct"]] for r in rows],
+        )
+    if number == 3:
+        rows = table3_rows()
+        return format_table(
+            ["Layer", "Size", "Weight%", "Act%", "FLOP%"],
+            [[r["layer"], r["size"], r["weight_density"], r["activation_density"],
+              r["flop_fraction"]] for r in rows],
+        )
+    if number == 4:
+        rows = table4_rows(args.benchmarks, builder=builder, eie_config=_config(args))
+        headers = ["Platform", "Batch", "Kernel"] + list(args.benchmarks)
+        return format_table(
+            headers,
+            [[r["platform"], r["batch"], r["kernel"]] + [r[b] for b in args.benchmarks]
+             for r in rows],
+        )
+    rows = table5_rows(builder=builder)
+    return format_table(
+        ["Platform", "Area (mm2)", "Power (W)", "Throughput (fps)", "Energy eff. (frames/J)"],
+        [[r["platform"], r["area_mm2"], r["power_w"], r["throughput_fps"],
+          r["energy_efficiency_fpj"]] for r in rows],
+    )
+
+
+def _run_figure(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
+    number = args.number
+    config = _config(args)
+    if number == 6:
+        table = speedup_table(args.benchmarks, builder=builder, eie_config=config)
+        series = {cfg: {b: table[b][cfg] for b in table} for cfg in next(iter(table.values()))}
+        return "Speedup over CPU dense (batch 1):\n" + render_series(series, "Benchmark")
+    if number == 7:
+        table = energy_efficiency_table(args.benchmarks, builder=builder, eie_config=config)
+        series = {cfg: {b: table[b][cfg] for b in table} for cfg in next(iter(table.values()))}
+        return "Energy efficiency over CPU dense (batch 1):\n" + render_series(series, "Benchmark")
+    if number == 8:
+        sweep = fifo_depth_sweep(benchmarks=args.benchmarks, num_pes=args.pes, builder=builder)
+        return "Load-balance efficiency vs FIFO depth:\n" + render_series(sweep, "FIFO depth")
+    if number == 9:
+        points = sram_width_sweep(benchmarks=args.benchmarks, num_pes=args.pes, builder=builder)
+        totals: dict[int, float] = defaultdict(float)
+        for point in points:
+            totals[point.width_bits] += point.total_energy_nj
+        body = format_table(
+            ["Layer", "Width", "# reads", "pJ/read", "Total nJ"],
+            [[p.benchmark, p.width_bits, p.num_reads, p.energy_per_read_pj, p.total_energy_nj]
+             for p in points],
+        )
+        body += "\n\n" + format_table(["Width", "Total energy (nJ)"], sorted(totals.items()))
+        return "Spmat SRAM width sweep:\n" + body
+    if number == 10:
+        points = precision_study()
+        return "Arithmetic precision study:\n" + format_table(
+            ["Precision", "Accuracy", "Agreement", "Multiply energy (pJ)"],
+            [[p.precision, p.accuracy, p.agreement_with_float, p.multiply_energy_pj]
+             for p in points],
+        )
+    sweep = pe_sweep(benchmarks=args.benchmarks, fifo_depth=args.fifo_depth, builder=builder)
+    if number == 11:
+        series = {b: {p.num_pes: p.speedup_vs_1pe for p in pts} for b, pts in sweep.items()}
+        return "Speedup vs number of PEs:\n" + render_series(series, "# PEs")
+    if number == 12:
+        series = {b: {p.num_pes: p.real_work_fraction for p in pts} for b, pts in sweep.items()}
+        return "Real work / total work vs number of PEs:\n" + render_series(series, "# PEs")
+    series = {b: {p.num_pes: p.load_balance_efficiency for p in pts} for b, pts in sweep.items()}
+    return "Load balance vs number of PEs:\n" + render_series(series, "# PEs")
+
+
+def _run_ablation(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
+    if args.which == "index-width":
+        benchmark = args.benchmarks[0]
+        points = index_width_ablation(benchmark, num_pes=args.pes, builder=builder)
+        return f"Relative-index width ablation ({benchmark}):\n" + format_table(
+            ["Index bits", "Padding zeros", "Padding fraction", "Bits per non-zero"],
+            [[p.index_bits, p.padding_zeros, p.padding_fraction, p.bits_per_nonzero]
+             for p in points],
+        )
+    if args.which == "codebook-bits":
+        points = codebook_bits_ablation()
+        return "Codebook size ablation:\n" + format_table(
+            ["Weight bits", "Entries", "RMS error", "Relative RMS error"],
+            [[p.weight_bits, p.codebook_entries, p.rms_error, p.relative_rms_error]
+             for p in points],
+        )
+    benchmark = args.benchmarks[0]
+    results = partitioning_ablation(benchmark, num_pes=args.pes, builder=builder,
+                                    fifo_depth=args.fifo_depth)
+    return f"Workload partitioning ablation ({benchmark}, {args.pes} PEs):\n" + format_table(
+        ["Strategy", "Total cycles", "Compute", "Communication", "Load balance", "Idle PEs"],
+        [[name, r.total_cycles, r.compute_cycles, r.communication_cycles,
+          r.load_balance_efficiency, r.idle_pes] for name, r in results.items()],
+    )
+
+
+def _run_summary(args: argparse.Namespace) -> str:
+    config = _config(args)
+    rows = [
+        ["Processing elements", config.num_pes],
+        ["Clock (MHz)", config.clock_mhz],
+        ["FIFO depth", config.fifo_depth],
+        ["Spmat SRAM width (bits)", config.spmat_sram_width_bits],
+        ["Weights per PE (capacity)", config.weights_per_pe_capacity],
+        ["Peak GOP/s (compressed)", config.peak_gops],
+        ["Chip area (mm2)", chip_area_mm2(config.num_pes)],
+        ["Chip power (W)", chip_power_w(config.num_pes)],
+    ]
+    return "EIE configuration summary:\n" + format_table(["Parameter", "Value"], rows)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.cli`` / the ``repro-eie`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    builder = WorkloadBuilder()
+    if args.command == "table":
+        output = _run_table(args, builder)
+    elif args.command == "figure":
+        output = _run_figure(args, builder)
+    elif args.command == "ablation":
+        output = _run_ablation(args, builder)
+    else:
+        output = _run_summary(args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

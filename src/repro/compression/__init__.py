@@ -1,0 +1,44 @@
+"""Deep Compression substrate: pruning, weight sharing, CSC encoding, Huffman.
+
+This package implements the compression pipeline described in the paper's
+Section III (and in the companion 'Deep Compression' paper) that produces the
+model representation EIE operates on:
+
+1. magnitude pruning makes the weight matrix sparse (4-25% density);
+2. weight sharing replaces each surviving weight with a 4-bit index into a
+   16-entry codebook built by k-means;
+3. the sparse, indexed matrix is stored in a relative-indexed compressed
+   sparse column (CSC) format with 4-bit zero-run lengths, interleaved across
+   processing elements row-by-row;
+4. Huffman coding (used for off-line storage accounting only) squeezes the
+   index streams further.
+"""
+
+from repro.compression.csc import (
+    CSCMatrix,
+    InterleavedCSC,
+    encode_column,
+    decode_column,
+    interleaved_entry_counts,
+)
+from repro.compression.huffman import HuffmanCode
+from repro.compression.pipeline import CompressedLayer, CompressionConfig, DeepCompressor
+from repro.compression.pruning import PruningResult, prune_by_threshold, prune_to_density
+from repro.compression.quantization import WeightCodebook, kmeans_codebook
+
+__all__ = [
+    "CSCMatrix",
+    "CompressedLayer",
+    "CompressionConfig",
+    "DeepCompressor",
+    "HuffmanCode",
+    "InterleavedCSC",
+    "PruningResult",
+    "WeightCodebook",
+    "decode_column",
+    "encode_column",
+    "interleaved_entry_counts",
+    "kmeans_codebook",
+    "prune_by_threshold",
+    "prune_to_density",
+]

@@ -1,0 +1,413 @@
+"""Relative-indexed, interleaved compressed sparse column (CSC) storage.
+
+This module implements the storage format of Section III-B of the paper:
+
+* for every column of the (pruned) weight matrix the non-zero values ``v`` and
+  their zero-run lengths ``z`` are stored as two equal-length 4-bit streams;
+* if more than ``max_run`` (15) zeros precede a non-zero, a *padding zero* is
+  inserted into ``v`` with a run of ``max_run`` so the 4-bit field never
+  overflows (the paper's example: column ``[0,0,1,2,0×18,3]`` encodes as
+  ``v=[1,2,0,3]``, ``z=[2,0,15,2]``);
+* a pointer vector ``p`` (one entry per column plus a terminator) locates each
+  column's slice in the shared ``v``/``z`` arrays;
+* when the matrix is distributed over ``N`` processing elements, PE ``k``
+  owns all rows ``i`` with ``i mod N == k`` and stores its slice of every
+  column in its own CSC arrays with zero-runs counted in its local row space
+  (:class:`InterleavedCSC`).
+
+Both a readable per-column reference encoder and a vectorised counting path
+(:func:`interleaved_entry_counts`, used by the cycle-level simulator on the
+full-size Table III layers) are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.utils.validation import require_matrix
+
+__all__ = [
+    "encode_column",
+    "decode_column",
+    "CSCMatrix",
+    "InterleavedCSC",
+    "interleaved_entry_counts",
+    "pe_for_row",
+    "local_row_index",
+]
+
+#: Largest zero-run representable in a 4-bit relative index.
+DEFAULT_MAX_RUN = 15
+
+
+def pe_for_row(row: int | np.ndarray, num_pes: int) -> int | np.ndarray:
+    """The PE that owns ``row`` under the paper's interleaving (``row mod N``)."""
+    return row % num_pes
+
+
+def local_row_index(row: int | np.ndarray, num_pes: int) -> int | np.ndarray:
+    """Position of ``row`` within its owning PE's local row space."""
+    return row // num_pes
+
+
+def encode_column(
+    column: np.ndarray, max_run: int = DEFAULT_MAX_RUN
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode one column into (values, runs) with padding zeros.
+
+    Returns ``(v, z)``: ``v`` holds the non-zero values (plus padding zeros)
+    and ``z`` holds the number of zeros preceding each entry.  Trailing zeros
+    after the last non-zero are not stored.
+    """
+    if max_run < 1:
+        raise EncodingError(f"max_run must be >= 1, got {max_run}")
+    column = np.asarray(column, dtype=np.float64)
+    if column.ndim != 1:
+        raise EncodingError(f"column must be 1-D, got shape {column.shape}")
+    values: list[float] = []
+    runs: list[int] = []
+    zeros_pending = 0
+    for element in column:
+        if element == 0.0:
+            zeros_pending += 1
+            continue
+        while zeros_pending > max_run:
+            values.append(0.0)
+            runs.append(max_run)
+            zeros_pending -= max_run + 1
+        values.append(float(element))
+        runs.append(zeros_pending)
+        zeros_pending = 0
+    return np.asarray(values, dtype=np.float64), np.asarray(runs, dtype=np.int64)
+
+
+def decode_column(
+    values: np.ndarray, runs: np.ndarray, length: int
+) -> np.ndarray:
+    """Inverse of :func:`encode_column`: rebuild the dense column of ``length``."""
+    values = np.asarray(values, dtype=np.float64)
+    runs = np.asarray(runs, dtype=np.int64)
+    if values.shape != runs.shape:
+        raise EncodingError(
+            f"values and runs must have equal length, got {values.shape} and {runs.shape}"
+        )
+    column = np.zeros(length, dtype=np.float64)
+    position = -1
+    for value, run in zip(values, runs):
+        position += int(run) + 1
+        if position >= length:
+            raise EncodingError(
+                f"encoded column overruns its dense length {length} (position {position})"
+            )
+        column[position] = value
+    return column
+
+
+def _encoded_positions(runs: np.ndarray) -> np.ndarray:
+    """Dense row positions implied by a run-length stream."""
+    runs = np.asarray(runs, dtype=np.int64)
+    return np.cumsum(runs + 1) - 1
+
+
+@dataclass
+class CSCMatrix:
+    """A relative-indexed CSC matrix (single storage domain, e.g. one PE).
+
+    Attributes:
+        values: concatenated per-column value stream (padding zeros included).
+        runs: concatenated per-column zero-run stream, same length as
+            ``values``; every entry is in ``[0, max_run]``.
+        col_ptr: length ``num_cols + 1`` offsets into ``values``/``runs``.
+        num_rows: dense row count.
+        num_cols: dense column count.
+        max_run: largest representable zero run (15 for 4-bit indices).
+    """
+
+    values: np.ndarray
+    runs: np.ndarray
+    col_ptr: np.ndarray
+    num_rows: int
+    num_cols: int
+    max_run: int = DEFAULT_MAX_RUN
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.runs = np.asarray(self.runs, dtype=np.int64)
+        self.col_ptr = np.asarray(self.col_ptr, dtype=np.int64)
+        if self.values.shape != self.runs.shape:
+            raise EncodingError("values and runs must have the same length")
+        if self.col_ptr.shape[0] != self.num_cols + 1:
+            raise EncodingError(
+                f"col_ptr must have num_cols + 1 = {self.num_cols + 1} entries, "
+                f"got {self.col_ptr.shape[0]}"
+            )
+        if self.col_ptr[0] != 0 or self.col_ptr[-1] != self.values.shape[0]:
+            raise EncodingError("col_ptr must start at 0 and end at the entry count")
+        if np.any(np.diff(self.col_ptr) < 0):
+            raise EncodingError("col_ptr must be non-decreasing")
+        if self.runs.size and (self.runs.min() < 0 or self.runs.max() > self.max_run):
+            raise EncodingError(f"runs must be within [0, {self.max_run}]")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, max_run: int = DEFAULT_MAX_RUN) -> "CSCMatrix":
+        """Encode a dense matrix column by column."""
+        dense = np.asarray(require_matrix("dense", dense), dtype=np.float64)
+        num_rows, num_cols = dense.shape
+        value_chunks: list[np.ndarray] = []
+        run_chunks: list[np.ndarray] = []
+        col_ptr = np.zeros(num_cols + 1, dtype=np.int64)
+        total = 0
+        for j in range(num_cols):
+            values, runs = encode_column(dense[:, j], max_run=max_run)
+            value_chunks.append(values)
+            run_chunks.append(runs)
+            total += values.shape[0]
+            col_ptr[j + 1] = total
+        values = np.concatenate(value_chunks) if value_chunks else np.empty(0)
+        runs = np.concatenate(run_chunks) if run_chunks else np.empty(0, dtype=np.int64)
+        return cls(
+            values=values,
+            runs=runs,
+            col_ptr=col_ptr,
+            num_rows=num_rows,
+            num_cols=num_cols,
+            max_run=max_run,
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Number of stored entries, padding zeros included."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_padding_zeros(self) -> int:
+        """Number of stored entries that are padding zeros."""
+        return int(np.count_nonzero(self.values == 0.0))
+
+    @property
+    def num_true_nonzeros(self) -> int:
+        """Number of stored entries carrying an actual non-zero weight."""
+        return self.num_entries - self.num_padding_zeros
+
+    @property
+    def padding_fraction(self) -> float:
+        """Fraction of stored entries that are padding (wasted work)."""
+        if self.num_entries == 0:
+            return 0.0
+        return self.num_padding_zeros / self.num_entries
+
+    def column_entries(self, column: int) -> tuple[np.ndarray, np.ndarray]:
+        """The (values, runs) slice for ``column``."""
+        if not 0 <= column < self.num_cols:
+            raise EncodingError(f"column {column} out of range [0, {self.num_cols})")
+        start, end = self.col_ptr[column], self.col_ptr[column + 1]
+        return self.values[start:end], self.runs[start:end]
+
+    def column_entry_counts(self) -> np.ndarray:
+        """Entries stored per column (padding included)."""
+        return np.diff(self.col_ptr)
+
+    def column_row_indices(self, column: int) -> np.ndarray:
+        """Dense row index of every stored entry in ``column``."""
+        _, runs = self.column_entries(column)
+        return _encoded_positions(runs)
+
+    def to_dense(self) -> np.ndarray:
+        """Decode back to a dense matrix."""
+        dense = np.zeros((self.num_rows, self.num_cols), dtype=np.float64)
+        for j in range(self.num_cols):
+            values, runs = self.column_entries(j)
+            dense[:, j] = decode_column(values, runs, self.num_rows)
+        return dense
+
+    def storage_bits(self, value_bits: int = 4, index_bits: int = 4, pointer_bits: int = 16) -> int:
+        """Total storage in bits: entry streams plus the column pointer array."""
+        return self.num_entries * (value_bits + index_bits) + self.col_ptr.shape[0] * pointer_bits
+
+
+class InterleavedCSC:
+    """A weight matrix distributed over ``N`` PEs in interleaved CSC form.
+
+    PE ``k`` owns rows ``k, k + N, k + 2N, ...`` and stores its slice of every
+    column as a :class:`CSCMatrix` whose zero runs are counted in the PE's
+    local row space, exactly as Figure 3 of the paper illustrates.
+    """
+
+    def __init__(self, per_pe: list[CSCMatrix], num_rows: int, num_cols: int, num_pes: int) -> None:
+        if len(per_pe) != num_pes:
+            raise EncodingError(f"expected {num_pes} per-PE matrices, got {len(per_pe)}")
+        for pe, matrix in enumerate(per_pe):
+            expected_rows = _rows_owned_by(pe, num_rows, num_pes)
+            if matrix.num_rows != expected_rows:
+                raise EncodingError(
+                    f"PE {pe} slice has {matrix.num_rows} rows, expected {expected_rows}"
+                )
+            if matrix.num_cols != num_cols:
+                raise EncodingError(
+                    f"PE {pe} slice has {matrix.num_cols} columns, expected {num_cols}"
+                )
+        self.per_pe = list(per_pe)
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        self.num_pes = int(num_pes)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, num_pes: int, max_run: int = DEFAULT_MAX_RUN
+    ) -> "InterleavedCSC":
+        """Distribute a dense matrix over ``num_pes`` PEs and encode each slice."""
+        dense = np.asarray(require_matrix("dense", dense), dtype=np.float64)
+        if num_pes < 1:
+            raise EncodingError(f"num_pes must be >= 1, got {num_pes}")
+        num_rows, num_cols = dense.shape
+        slices = [
+            CSCMatrix.from_dense(dense[pe::num_pes, :], max_run=max_run)
+            for pe in range(num_pes)
+        ]
+        return cls(per_pe=slices, num_rows=num_rows, num_cols=num_cols, num_pes=num_pes)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Total stored entries across all PEs (padding included)."""
+        return sum(matrix.num_entries for matrix in self.per_pe)
+
+    @property
+    def num_padding_zeros(self) -> int:
+        """Total padding-zero entries across all PEs."""
+        return sum(matrix.num_padding_zeros for matrix in self.per_pe)
+
+    @property
+    def num_true_nonzeros(self) -> int:
+        """Total genuine non-zero weights stored."""
+        return self.num_entries - self.num_padding_zeros
+
+    @property
+    def padding_fraction(self) -> float:
+        """Fraction of stored entries that are padding zeros."""
+        entries = self.num_entries
+        return self.num_padding_zeros / entries if entries else 0.0
+
+    @property
+    def real_work_fraction(self) -> float:
+        """Real work / total work, the quantity plotted in Figure 12."""
+        return 1.0 - self.padding_fraction
+
+    def entries_per_pe(self) -> np.ndarray:
+        """Entries stored by each PE (load distribution of the whole matrix)."""
+        return np.asarray([matrix.num_entries for matrix in self.per_pe], dtype=np.int64)
+
+    def entries_per_pe_column(self) -> np.ndarray:
+        """Entries per (PE, column): the work each broadcast creates per PE.
+
+        Shape ``(num_pes, num_cols)``.  This is the key input to the
+        cycle-level simulator: when activation ``a_j`` is broadcast, PE ``k``
+        must process ``result[k, j]`` entries.
+        """
+        counts = np.zeros((self.num_pes, self.num_cols), dtype=np.int64)
+        for pe, matrix in enumerate(self.per_pe):
+            counts[pe, :] = matrix.column_entry_counts()
+        return counts
+
+    def global_row_index(self, pe: int, local_row: int) -> int:
+        """Map a PE-local row position back to the dense row index."""
+        return local_row * self.num_pes + pe
+
+    def to_dense(self) -> np.ndarray:
+        """Decode the distributed representation back into one dense matrix."""
+        dense = np.zeros((self.num_rows, self.num_cols), dtype=np.float64)
+        for pe, matrix in enumerate(self.per_pe):
+            dense[pe::self.num_pes, :] = matrix.to_dense()
+        return dense
+
+    def storage_bits(self, value_bits: int = 4, index_bits: int = 4, pointer_bits: int = 16) -> int:
+        """Total storage across all PEs."""
+        return sum(
+            matrix.storage_bits(value_bits, index_bits, pointer_bits) for matrix in self.per_pe
+        )
+
+
+def _rows_owned_by(pe: int, num_rows: int, num_pes: int) -> int:
+    """Number of dense rows assigned to ``pe`` under interleaving."""
+    return (num_rows - pe + num_pes - 1) // num_pes
+
+
+def interleaved_entry_counts(
+    row_indices: np.ndarray,
+    col_ptr: np.ndarray,
+    num_rows: int,
+    num_pes: int,
+    max_run: int = DEFAULT_MAX_RUN,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised per-(PE, column) entry counts for a sparsity pattern.
+
+    This computes, without materialising the encoded streams, how many CSC
+    entries (true non-zeros plus padding zeros) each PE stores for each
+    column.  It is what the cycle-level simulator uses for the full-size
+    Table III layers, where building explicit per-PE CSC arrays in Python
+    would be needlessly slow.
+
+    Args:
+        row_indices: row index of every non-zero, grouped by column (CSC
+            order; rows within a column must be sorted ascending).
+        col_ptr: length ``num_cols + 1`` offsets into ``row_indices``.
+        num_rows: dense row count.
+        num_pes: number of processing elements.
+        max_run: largest zero run representable without padding.
+
+    Returns:
+        ``(total_counts, padding_counts)``, both of shape
+        ``(num_pes, num_cols)``.
+    """
+    row_indices = np.asarray(row_indices, dtype=np.int64)
+    col_ptr = np.asarray(col_ptr, dtype=np.int64)
+    num_cols = col_ptr.shape[0] - 1
+    if num_cols < 0:
+        raise EncodingError("col_ptr must have at least one entry")
+    if row_indices.size and (row_indices.min() < 0 or row_indices.max() >= num_rows):
+        raise EncodingError("row indices out of range")
+    nnz_counts = np.zeros((num_pes, num_cols), dtype=np.int64)
+    padding_counts = np.zeros((num_pes, num_cols), dtype=np.int64)
+    if row_indices.size == 0:
+        return nnz_counts, padding_counts
+
+    columns = np.repeat(np.arange(num_cols, dtype=np.int64), np.diff(col_ptr))
+    pes = row_indices % num_pes
+    locals_ = row_indices // num_pes
+    groups = columns * num_pes + pes
+
+    # Non-zero counts per (pe, column).
+    flat_nnz = np.bincount(pes * num_cols + columns, minlength=num_pes * num_cols)
+    nnz_counts = flat_nnz.reshape(num_pes, num_cols)
+
+    # Padding zeros: for each (column, pe) group, gaps of local positions.
+    order = np.lexsort((locals_, groups))
+    sorted_groups = groups[order]
+    sorted_locals = locals_[order]
+    previous_locals = np.empty_like(sorted_locals)
+    previous_locals[0] = 0
+    previous_locals[1:] = sorted_locals[:-1]
+    is_first = np.empty(sorted_groups.shape, dtype=bool)
+    is_first[0] = True
+    is_first[1:] = sorted_groups[1:] != sorted_groups[:-1]
+    gaps = np.where(is_first, sorted_locals, sorted_locals - previous_locals - 1)
+    padding_per_entry = gaps // (max_run + 1)
+    sorted_pes = sorted_groups % num_pes
+    sorted_columns = sorted_groups // num_pes
+    flat_padding = np.bincount(
+        sorted_pes * num_cols + sorted_columns,
+        weights=padding_per_entry.astype(np.float64),
+        minlength=num_pes * num_cols,
+    )
+    padding_counts = flat_padding.reshape(num_pes, num_cols).astype(np.int64)
+    return nnz_counts + padding_counts, padding_counts

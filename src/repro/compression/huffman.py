@@ -1,0 +1,151 @@
+"""Huffman coding of the compressed-weight index streams.
+
+Deep Compression's final stage Huffman-codes the weight indices and the
+zero-run lengths, exploiting their biased distributions to push the overall
+compression ratio to 35-49x.  EIE itself stores fixed-width 4-bit fields in
+SRAM (decoding Huffman on the fly would complicate the datapath), so in this
+reproduction the Huffman coder is used for *storage accounting* only — it
+reports how small the model file would be on disk/DRAM before it is expanded
+into the PE SRAMs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+
+__all__ = ["HuffmanCode"]
+
+
+@dataclass(order=True)
+class _Node:
+    """Internal heap node for Huffman tree construction."""
+
+    weight: int
+    order: int
+    symbol: object | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+class HuffmanCode:
+    """A canonical-ish Huffman code built from symbol frequencies.
+
+    The code is deterministic for a given frequency table: ties are broken by
+    insertion order of the sorted symbols, so encoding the same data always
+    produces the same code table.
+    """
+
+    def __init__(self, codebook: dict[object, str]) -> None:
+        if not codebook:
+            raise CompressionError("cannot build an empty Huffman code")
+        self.codebook = dict(codebook)
+        self._decode_table = {code: symbol for symbol, code in self.codebook.items()}
+        if len(self._decode_table) != len(self.codebook):
+            raise CompressionError("Huffman codebook contains duplicate codes")
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_symbols(cls, symbols: np.ndarray | list) -> "HuffmanCode":
+        """Build a code from observed symbols."""
+        symbols = list(np.asarray(symbols).ravel().tolist())
+        if not symbols:
+            raise CompressionError("cannot build a Huffman code from no symbols")
+        frequencies = Counter(symbols)
+        return cls.from_frequencies(frequencies)
+
+    @classmethod
+    def from_frequencies(cls, frequencies: dict[object, int]) -> "HuffmanCode":
+        """Build a code from a symbol -> count mapping."""
+        if not frequencies:
+            raise CompressionError("cannot build a Huffman code from an empty frequency table")
+        if any(count <= 0 for count in frequencies.values()):
+            raise CompressionError("all symbol frequencies must be positive")
+        if len(frequencies) == 1:
+            only_symbol = next(iter(frequencies))
+            return cls({only_symbol: "0"})
+        heap: list[_Node] = []
+        for order, (symbol, count) in enumerate(sorted(frequencies.items(), key=lambda kv: str(kv[0]))):
+            heapq.heappush(heap, _Node(weight=int(count), order=order, symbol=symbol))
+        next_order = len(heap)
+        while len(heap) > 1:
+            low = heapq.heappop(heap)
+            high = heapq.heappop(heap)
+            merged = _Node(
+                weight=low.weight + high.weight,
+                order=next_order,
+                left=low,
+                right=high,
+            )
+            next_order += 1
+            heapq.heappush(heap, merged)
+        root = heap[0]
+        codebook: dict[object, str] = {}
+
+        def assign(node: _Node, prefix: str) -> None:
+            if node.symbol is not None:
+                codebook[node.symbol] = prefix or "0"
+                return
+            assert node.left is not None and node.right is not None
+            assign(node.left, prefix + "0")
+            assign(node.right, prefix + "1")
+
+        assign(root, "")
+        return cls(codebook)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def symbols(self) -> list[object]:
+        """All symbols the code can encode."""
+        return list(self.codebook)
+
+    def code_length(self, symbol: object) -> int:
+        """Length in bits of the code for ``symbol``."""
+        if symbol not in self.codebook:
+            raise CompressionError(f"symbol {symbol!r} is not in the codebook")
+        return len(self.codebook[symbol])
+
+    def average_bits(self, frequencies: dict[object, int]) -> float:
+        """Average code length weighted by ``frequencies``."""
+        total = sum(frequencies.values())
+        if total == 0:
+            raise CompressionError("frequencies must not sum to zero")
+        return sum(self.code_length(sym) * count for sym, count in frequencies.items()) / total
+
+    # -- encode / decode -------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray | list) -> str:
+        """Encode a symbol sequence into a bit string."""
+        symbols = list(np.asarray(symbols).ravel().tolist())
+        try:
+            return "".join(self.codebook[symbol] for symbol in symbols)
+        except KeyError as error:
+            raise CompressionError(f"symbol {error.args[0]!r} is not in the codebook") from error
+
+    def decode(self, bits: str) -> list[object]:
+        """Decode a bit string back into the original symbol sequence."""
+        decoded: list[object] = []
+        current = ""
+        for bit in bits:
+            if bit not in "01":
+                raise CompressionError(f"invalid bit {bit!r} in encoded stream")
+            current += bit
+            if current in self._decode_table:
+                decoded.append(self._decode_table[current])
+                current = ""
+        if current:
+            raise CompressionError("encoded stream ends mid-symbol")
+        return decoded
+
+    def encoded_bits(self, symbols: np.ndarray | list) -> int:
+        """Length in bits of the encoding of ``symbols`` (without encoding)."""
+        symbols = np.asarray(symbols).ravel().tolist()
+        counts = Counter(symbols)
+        return sum(self.code_length(symbol) * count for symbol, count in counts.items())

@@ -1,0 +1,98 @@
+"""Magnitude pruning of weight matrices.
+
+Pruning is the first stage of Deep Compression: connections whose weights have
+small magnitude are removed, leaving a sparse matrix with density between 4%
+and 25% for the paper's benchmark layers (Table III, 'Weight%' column).
+Retraining is out of scope here — the accelerator's behaviour depends only on
+the sparsity pattern, not on whether the surviving weights were fine-tuned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.utils.validation import require_between, require_matrix
+
+__all__ = ["PruningResult", "prune_to_density", "prune_by_threshold"]
+
+
+@dataclass
+class PruningResult:
+    """Outcome of a pruning pass.
+
+    Attributes:
+        weights: pruned weight matrix (same shape as the input, zeros where
+            connections were removed).
+        mask: boolean matrix, ``True`` where a weight survived.
+        threshold: magnitude threshold that was applied.
+    """
+
+    weights: np.ndarray
+    mask: np.ndarray
+    threshold: float
+
+    @property
+    def density(self) -> float:
+        """Fraction of surviving (non-zero) weights."""
+        if self.mask.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.mask)) / self.mask.size
+
+    @property
+    def num_nonzero(self) -> int:
+        """Number of surviving weights."""
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def compression_from_pruning(self) -> float:
+        """Pruning-only compression ratio (dense count / surviving count)."""
+        nonzero = self.num_nonzero
+        if nonzero == 0:
+            return float("inf")
+        return self.mask.size / nonzero
+
+
+def prune_by_threshold(weights: np.ndarray, threshold: float) -> PruningResult:
+    """Zero out every weight with ``|w| < threshold``."""
+    weights = np.asarray(require_matrix("weights", weights), dtype=np.float64)
+    if threshold < 0:
+        raise CompressionError(f"threshold must be >= 0, got {threshold}")
+    mask = (np.abs(weights) >= threshold) & (weights != 0.0)
+    pruned = np.where(mask, weights, 0.0)
+    return PruningResult(weights=pruned, mask=mask, threshold=float(threshold))
+
+
+def prune_to_density(weights: np.ndarray, density: float) -> PruningResult:
+    """Prune ``weights`` so that approximately ``density`` of them survive.
+
+    The threshold is the ``(1 - density)`` quantile of the absolute values, so
+    the largest-magnitude weights are kept.  ``density=1`` keeps everything;
+    ``density`` must be in (0, 1].
+    """
+    weights = np.asarray(require_matrix("weights", weights), dtype=np.float64)
+    require_between("density", density, 0.0, 1.0)
+    if density <= 0.0:
+        raise CompressionError("density must be > 0; an empty layer is not meaningful")
+    if density >= 1.0:
+        mask = weights != 0.0
+        return PruningResult(weights=weights.copy(), mask=mask, threshold=0.0)
+    magnitudes = np.abs(weights).ravel()
+    keep = max(1, int(round(density * magnitudes.size)))
+    # The threshold is the magnitude of the keep-th largest weight.
+    threshold = float(np.partition(magnitudes, magnitudes.size - keep)[magnitudes.size - keep])
+    result = prune_by_threshold(weights, threshold)
+    if result.num_nonzero > keep:
+        # Ties at the threshold can keep slightly too many weights; break them
+        # deterministically by zeroing the excess smallest survivors.
+        surviving = np.argwhere(result.mask)
+        surviving_magnitudes = np.abs(result.weights[result.mask])
+        order = np.argsort(surviving_magnitudes, kind="stable")
+        excess = result.num_nonzero - keep
+        for index in order[:excess]:
+            row, col = surviving[index]
+            result.weights[row, col] = 0.0
+            result.mask[row, col] = False
+    return PruningResult(weights=result.weights, mask=result.mask, threshold=threshold)

@@ -1,0 +1,164 @@
+"""Weight sharing via k-means codebooks.
+
+Deep Compression replaces each surviving weight with a 4-bit index into a
+16-entry table of shared weights (the codebook).  EIE's weight decoder is a
+16-entry lookup table that expands the 4-bit virtual weight into a 16-bit
+fixed-point real weight before the multiply-accumulate.
+
+Entry 0 of the codebook is reserved for the value 0.0 so that the padding
+zeros inserted by the relative-indexed CSC encoding (runs of more than 15
+zeros) decode exactly to zero and contribute nothing to the accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.utils.rng import make_rng
+
+__all__ = ["kmeans_codebook", "WeightCodebook"]
+
+
+def kmeans_codebook(
+    values: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator | int | None = None,
+    max_iterations: int = 30,
+    init: str = "linear",
+) -> np.ndarray:
+    """Cluster ``values`` into ``num_clusters`` centroids with Lloyd's algorithm.
+
+    Deep Compression initialises the centroids linearly between the minimum
+    and maximum weight (``init="linear"``), which the authors found preserves
+    the long tails of the weight distribution better than random or
+    density-based initialisation.  ``init="random"`` samples initial centroids
+    from the data.
+
+    Returns the sorted centroid array of length ``num_clusters``.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise CompressionError("cannot build a codebook from an empty value set")
+    if num_clusters < 1:
+        raise CompressionError(f"num_clusters must be >= 1, got {num_clusters}")
+    rng = make_rng(rng)
+    unique_values = np.unique(values)
+    if unique_values.size <= num_clusters:
+        # Degenerate case: fewer distinct values than clusters.
+        centroids = np.full(num_clusters, unique_values[-1], dtype=np.float64)
+        centroids[: unique_values.size] = unique_values
+        return np.sort(centroids)
+    if init == "linear":
+        centroids = np.linspace(values.min(), values.max(), num_clusters)
+    elif init == "random":
+        centroids = rng.choice(unique_values, size=num_clusters, replace=False)
+    else:
+        raise CompressionError(f"unknown init {init!r}; expected 'linear' or 'random'")
+    centroids = np.sort(np.asarray(centroids, dtype=np.float64))
+    for _ in range(max_iterations):
+        # Assign each value to its nearest centroid.
+        assignments = np.argmin(np.abs(values[:, None] - centroids[None, :]), axis=1)
+        new_centroids = centroids.copy()
+        for cluster in range(num_clusters):
+            members = values[assignments == cluster]
+            if members.size:
+                new_centroids[cluster] = members.mean()
+        new_centroids = np.sort(new_centroids)
+        if np.allclose(new_centroids, centroids, rtol=0.0, atol=1e-12):
+            centroids = new_centroids
+            break
+        centroids = new_centroids
+    return centroids
+
+
+@dataclass
+class WeightCodebook:
+    """A shared-weight table with a reserved zero entry.
+
+    Attributes:
+        centroids: the table ``S`` of shared weight values; ``centroids[0]``
+            is always exactly ``0.0``.
+        index_bits: number of bits per stored index (4 in the paper).
+    """
+
+    centroids: np.ndarray
+    index_bits: int = 4
+
+    def __post_init__(self) -> None:
+        self.centroids = np.asarray(self.centroids, dtype=np.float64)
+        if self.centroids.ndim != 1:
+            raise CompressionError("centroids must be a 1-D array")
+        if self.index_bits < 1:
+            raise CompressionError(f"index_bits must be >= 1, got {self.index_bits}")
+        if self.centroids.size > 2**self.index_bits:
+            raise CompressionError(
+                f"{self.centroids.size} centroids do not fit in {self.index_bits}-bit indices"
+            )
+        if self.centroids.size == 0 or self.centroids[0] != 0.0:
+            raise CompressionError("centroids[0] must be the reserved zero entry")
+
+    @classmethod
+    def fit(
+        cls,
+        nonzero_values: np.ndarray,
+        index_bits: int = 4,
+        rng: np.random.Generator | int | None = None,
+    ) -> "WeightCodebook":
+        """Build a codebook for ``nonzero_values`` with a reserved zero entry.
+
+        One of the ``2**index_bits`` entries is the reserved zero, leaving
+        ``2**index_bits - 1`` k-means centroids for the non-zero weights (15
+        shared weights in the paper's 4-bit configuration).
+        """
+        nonzero_values = np.asarray(nonzero_values, dtype=np.float64).ravel()
+        nonzero_values = nonzero_values[nonzero_values != 0.0]
+        if nonzero_values.size == 0:
+            raise CompressionError("cannot fit a codebook: no non-zero weights")
+        num_shared = 2**index_bits - 1
+        centroids = kmeans_codebook(nonzero_values, num_shared, rng=rng)
+        return cls(centroids=np.concatenate([[0.0], centroids]), index_bits=index_bits)
+
+    @property
+    def size(self) -> int:
+        """Number of codebook entries."""
+        return int(self.centroids.size)
+
+    @property
+    def zero_index(self) -> int:
+        """Index of the reserved zero entry (always 0)."""
+        return 0
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Map ``values`` to codebook indices (zeros map to the zero entry)."""
+        values = np.asarray(values, dtype=np.float64)
+        flat = values.ravel()
+        indices = np.argmin(np.abs(flat[:, None] - self.centroids[None, :]), axis=1)
+        indices = indices.astype(np.int64)
+        indices[flat == 0.0] = self.zero_index
+        return indices.reshape(values.shape)
+
+    def dequantize(self, indices: np.ndarray) -> np.ndarray:
+        """Expand codebook indices back to shared weight values."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise CompressionError(
+                f"indices must be in [0, {self.size - 1}], got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return self.centroids[indices]
+
+    def quantization_error(self, values: np.ndarray) -> float:
+        """Root-mean-square error introduced by weight sharing on ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return 0.0
+        reconstructed = self.dequantize(self.quantize(values))
+        return float(np.sqrt(np.mean((reconstructed - values) ** 2)))
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits needed to store the codebook itself (16-bit entries)."""
+        return self.size * 16

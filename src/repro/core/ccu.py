@@ -1,0 +1,74 @@
+"""Central Control Unit (CCU).
+
+The CCU is the root of the LNZD quadtree.  It has two modes: in *I/O mode*
+the PEs are idle while weights and activations are loaded over DMA (a one-time
+cost per layer); in *Computing mode* the CCU repeatedly collects the next
+non-zero input activation from the quadtree and broadcasts it, with its
+column index, to every PE, stalling whenever any PE's activation queue is
+full.  The functional simulator uses the CCU to derive the broadcast
+schedule; the cycle-level model adds the queue/backpressure timing.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.core.activation_queue import QueueEntry
+from repro.core.lnzd import LNZDTree
+from repro.errors import SimulationError
+from repro.utils.validation import require_vector
+
+__all__ = ["CCUMode", "CentralControlUnit"]
+
+
+class CCUMode(Enum):
+    """Operating mode of the central control unit."""
+
+    IO = "io"
+    COMPUTING = "computing"
+
+
+class CentralControlUnit:
+    """Root LNZD node plus layer sequencing control.
+
+    Args:
+        num_pes: number of processing elements controlled by this CCU.
+    """
+
+    def __init__(self, num_pes: int) -> None:
+        self.tree = LNZDTree(num_pes)
+        self.num_pes = int(num_pes)
+        self.mode = CCUMode.IO
+        self.layers_executed = 0
+        self.broadcasts_issued = 0
+
+    def enter_io_mode(self) -> None:
+        """Switch to I/O mode (PEs idle, DMA accessible)."""
+        self.mode = CCUMode.IO
+
+    def enter_computing_mode(self) -> None:
+        """Switch to computing mode (broadcast loop active)."""
+        self.mode = CCUMode.COMPUTING
+
+    def broadcast_schedule(self, activations: np.ndarray) -> list[QueueEntry]:
+        """The stream of (column, value) broadcasts for one input vector.
+
+        Only non-zero activations are broadcast; this is where the dynamic
+        activation sparsity is exploited.  The CCU must be in computing mode.
+        """
+        if self.mode is not CCUMode.COMPUTING:
+            raise SimulationError("broadcasts are only issued in computing mode")
+        activations = require_vector("activations", activations)
+        schedule = [
+            QueueEntry(column=index, value=value)
+            for index, value in self.tree.scan_nonzeros(activations)
+        ]
+        self.broadcasts_issued += len(schedule)
+        return schedule
+
+    def finish_layer(self) -> None:
+        """Record the end of one layer computation and return to I/O mode."""
+        self.layers_executed += 1
+        self.mode = CCUMode.IO

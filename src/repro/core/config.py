@@ -1,0 +1,175 @@
+"""EIE hardware configuration.
+
+The defaults reproduce the design point evaluated in the paper: 64 PEs at
+800 MHz in 45 nm, an 8-deep activation FIFO, a 64-bit Spmat SRAM interface,
+4-bit weights and indices, 16-bit fixed-point arithmetic, 128 KB Spmat SRAM,
+32 KB pointer SRAM and 2 KB activation SRAM per PE, 64-entry source and
+destination activation register files, and a 4-stage pipeline per activation
+update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.hardware.sram import SramConfig
+from repro.utils.validation import require_positive, require_power_of_two
+
+__all__ = ["EIEConfig"]
+
+
+@dataclass(frozen=True)
+class EIEConfig:
+    """Parameters of one EIE instance.
+
+    Attributes:
+        num_pes: number of processing elements (the paper evaluates 1-256).
+        fifo_depth: depth of the per-PE activation queue (8 in the paper).
+        clock_mhz: PE clock frequency.
+        weight_bits: bits per encoded (virtual) weight.
+        index_bits: bits per relative (zero-run) index.
+        pointer_bits: bits per column pointer.
+        activation_bits: fixed-point width of activations and accumulators.
+        spmat_sram_width_bits: read width of the sparse-matrix SRAM.
+        spmat_sram_kb: capacity of the sparse-matrix SRAM per PE.
+        ptr_sram_kb: capacity of the pointer SRAM per PE (two banks).
+        act_sram_kb: capacity of the activation SRAM per PE.
+        act_regfile_entries: entries in each activation register file.
+        pipeline_stages: pipeline depth of one activation update.
+    """
+
+    num_pes: int = 64
+    fifo_depth: int = 8
+    clock_mhz: float = 800.0
+    weight_bits: int = 4
+    index_bits: int = 4
+    pointer_bits: int = 16
+    activation_bits: int = 16
+    spmat_sram_width_bits: int = 64
+    spmat_sram_kb: float = 128.0
+    ptr_sram_kb: float = 32.0
+    act_sram_kb: float = 2.0
+    act_regfile_entries: int = 64
+    pipeline_stages: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive("num_pes", self.num_pes)
+        require_positive("fifo_depth", self.fifo_depth)
+        require_positive("clock_mhz", self.clock_mhz)
+        require_positive("weight_bits", self.weight_bits)
+        require_positive("index_bits", self.index_bits)
+        require_positive("pointer_bits", self.pointer_bits)
+        require_positive("activation_bits", self.activation_bits)
+        require_power_of_two("spmat_sram_width_bits", self.spmat_sram_width_bits)
+        require_positive("spmat_sram_kb", self.spmat_sram_kb)
+        require_positive("ptr_sram_kb", self.ptr_sram_kb)
+        require_positive("act_sram_kb", self.act_sram_kb)
+        require_positive("act_regfile_entries", self.act_regfile_entries)
+        require_positive("pipeline_stages", self.pipeline_stages)
+        if self.spmat_sram_width_bits < self.entry_bits:
+            raise ConfigurationError(
+                "spmat_sram_width_bits must hold at least one (weight, index) entry"
+            )
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def max_run(self) -> int:
+        """Largest zero run the relative index can represent."""
+        return 2**self.index_bits - 1
+
+    @property
+    def codebook_entries(self) -> int:
+        """Number of shared-weight codebook entries."""
+        return 2**self.weight_bits
+
+    @property
+    def entry_bits(self) -> int:
+        """Bits per stored (weight, index) pair (8 in the paper)."""
+        return self.weight_bits + self.index_bits
+
+    @property
+    def entries_per_spmat_read(self) -> int:
+        """Encoded entries delivered by one Spmat SRAM read (8 in the paper)."""
+        return self.spmat_sram_width_bits // self.entry_bits
+
+    @property
+    def weights_per_pe_capacity(self) -> int:
+        """Encoded entries one PE's Spmat SRAM can hold (131 K in the paper)."""
+        return int(self.spmat_sram_kb * 1024 * 8) // self.entry_bits
+
+    @property
+    def total_weight_capacity(self) -> int:
+        """Encoded entries the whole accelerator can hold."""
+        return self.weights_per_pe_capacity * self.num_pes
+
+    @property
+    def dense_weight_capacity(self) -> int:
+        """Dense-equivalent weights at 10% density (the paper's 1.2 M per PE)."""
+        return self.weights_per_pe_capacity * 10
+
+    @property
+    def clock_hz(self) -> float:
+        """Clock frequency in hertz."""
+        return self.clock_mhz * 1e6
+
+    @property
+    def cycle_time_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1e3 / self.clock_mhz
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak multiply-accumulates per second (one per PE per cycle)."""
+        return self.num_pes * self.clock_hz
+
+    @property
+    def peak_gops(self) -> float:
+        """Peak GOP/s counting multiply and add separately (102 for 64 PEs)."""
+        return 2.0 * self.peak_macs_per_second / 1e9
+
+    @property
+    def activation_capacity(self) -> int:
+        """Activation-vector length the register files cover across all PEs."""
+        return self.act_regfile_entries * self.num_pes
+
+    # -- SRAM bank configurations ----------------------------------------------
+
+    def spmat_sram(self) -> SramConfig:
+        """Geometry of the sparse-matrix SRAM."""
+        return SramConfig(
+            capacity_kb=self.spmat_sram_kb,
+            width_bits=self.spmat_sram_width_bits,
+            name="spmat",
+        )
+
+    def ptr_sram(self) -> SramConfig:
+        """Geometry of one pointer SRAM bank (two banks per PE)."""
+        return SramConfig(
+            capacity_kb=self.ptr_sram_kb / 2,
+            width_bits=max(self.pointer_bits, 16),
+            name="ptr",
+        )
+
+    def act_sram(self) -> SramConfig:
+        """Geometry of the activation SRAM."""
+        return SramConfig(
+            capacity_kb=self.act_sram_kb,
+            width_bits=max(self.activation_bits, 16),
+            name="act",
+        )
+
+    # -- convenience -------------------------------------------------------------
+
+    def with_pes(self, num_pes: int) -> "EIEConfig":
+        """Copy of this configuration with a different PE count."""
+        return replace(self, num_pes=num_pes)
+
+    def with_fifo_depth(self, fifo_depth: int) -> "EIEConfig":
+        """Copy of this configuration with a different activation FIFO depth."""
+        return replace(self, fifo_depth=fifo_depth)
+
+    def with_spmat_width(self, width_bits: int) -> "EIEConfig":
+        """Copy of this configuration with a different Spmat SRAM width."""
+        return replace(self, spmat_sram_width_bits=width_bits)

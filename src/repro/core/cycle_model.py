@@ -1,0 +1,264 @@
+"""Cycle-level performance model of the EIE array.
+
+The model reproduces the timing behaviour the paper's custom cycle-accurate
+simulator measures, at activation-broadcast granularity:
+
+* the CCU broadcasts one non-zero input activation per cycle at most, and
+  only when no PE's activation FIFO is full;
+* a PE consumes its queued activations in order; activation ``b`` (the
+  ``b``-th broadcast) takes as many cycles as the PE has encoded entries
+  (true non-zeros plus padding zeros) in the corresponding column, because
+  the arithmetic unit retires one (weight, index) entry per cycle;
+* a broadcast occupies a FIFO slot from the cycle it is issued until the PE
+  has *finished* processing it, so with FIFO depth ``D`` the CCU may run at
+  most ``D`` columns ahead of the slowest PE.
+
+These rules give the recurrences implemented in
+:func:`simulate_layer_cycles`, which is exact for the stated abstraction and
+runs in ``O(broadcasts x PEs)`` — fast enough to simulate the full-size
+Table III layers for every design-space sweep in the paper (Figures 8 and
+11-13) without scaling anything down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.pipeline import CompressedLayer
+from repro.core.config import EIEConfig
+from repro.core.stats import LoadBalanceStats, PerformanceStats
+from repro.errors import SimulationError
+from repro.utils.validation import require_vector
+
+__all__ = ["CycleStats", "simulate_layer_cycles", "CycleAccurateEIE"]
+
+
+@dataclass
+class CycleStats:
+    """Timing statistics of one layer computation on the EIE array.
+
+    Attributes:
+        total_cycles: wall-clock cycles from first broadcast to last retire.
+        busy_cycles: per-PE cycles spent retiring entries.
+        broadcasts: number of non-zero activations broadcast.
+        entries_processed: total entries retired across all PEs (true
+            non-zeros plus padding zeros of the touched columns).
+        padding_entries: padding-zero entries among ``entries_processed``.
+        theoretical_cycles: perfectly balanced cycle count
+            (``entries_processed / num_pes``).
+        num_pes: number of PEs.
+        fifo_depth: activation queue depth used.
+        clock_mhz: clock used to convert cycles into time.
+    """
+
+    total_cycles: int
+    busy_cycles: np.ndarray
+    broadcasts: int
+    entries_processed: int
+    padding_entries: int
+    theoretical_cycles: float
+    num_pes: int
+    fifo_depth: int
+    clock_mhz: float
+
+    @property
+    def load_balance(self) -> LoadBalanceStats:
+        """Per-PE busy/stall view of this run."""
+        return LoadBalanceStats(
+            busy_cycles=np.asarray(self.busy_cycles),
+            total_cycles=self.total_cycles,
+            num_pes=self.num_pes,
+        )
+
+    @property
+    def load_balance_efficiency(self) -> float:
+        """1 - bubble cycles / total cycles (Figures 8 and 13)."""
+        return self.load_balance.load_balance_efficiency
+
+    @property
+    def real_work_fraction(self) -> float:
+        """Useful entries / total entries processed (Figure 12's metric,
+        restricted to the touched columns)."""
+        if self.entries_processed == 0:
+            return 1.0
+        return 1.0 - self.padding_entries / self.entries_processed
+
+    @property
+    def actual_over_theoretical(self) -> float:
+        """Slowdown of the real schedule versus perfect load balance."""
+        if self.theoretical_cycles <= 0:
+            return 1.0
+        return self.total_cycles / self.theoretical_cycles
+
+    @property
+    def time_s(self) -> float:
+        """Wall-clock seconds for the layer at the configured clock."""
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def theoretical_time_s(self) -> float:
+        """Wall-clock seconds under perfect load balance."""
+        return self.theoretical_cycles / (self.clock_mhz * 1e6)
+
+    def performance(self, dense_macs: int) -> PerformanceStats:
+        """Package the run as a :class:`PerformanceStats` record."""
+        return PerformanceStats(
+            cycles=self.total_cycles,
+            time_s=self.time_s,
+            macs_performed=self.entries_processed,
+            dense_macs=dense_macs,
+            clock_hz=self.clock_mhz * 1e6,
+        )
+
+
+def simulate_layer_cycles(
+    work: np.ndarray,
+    fifo_depth: int,
+    padding_work: np.ndarray | None = None,
+    clock_mhz: float = 800.0,
+) -> CycleStats:
+    """Simulate the broadcast/FIFO timing for one layer.
+
+    Args:
+        work: integer array of shape ``(num_pes, num_broadcasts)``;
+            ``work[p, b]`` is the number of encoded entries PE ``p`` must
+            retire for the ``b``-th broadcast non-zero activation.
+        fifo_depth: activation queue depth ``D``.
+        padding_work: optional array of the same shape counting how many of
+            those entries are padding zeros (used for Figure 12 statistics).
+        clock_mhz: clock frequency for time conversion.
+
+    Returns:
+        A :class:`CycleStats` with total cycles, per-PE busy cycles and the
+        derived efficiency metrics.
+    """
+    work = np.asarray(work, dtype=np.int64)
+    if work.ndim != 2:
+        raise SimulationError(f"work must be 2-D (num_pes, broadcasts), got shape {work.shape}")
+    if np.any(work < 0):
+        raise SimulationError("work counts must be non-negative")
+    if fifo_depth < 1:
+        raise SimulationError(f"fifo_depth must be >= 1, got {fifo_depth}")
+    num_pes, num_broadcasts = work.shape
+    if padding_work is not None:
+        padding_work = np.asarray(padding_work, dtype=np.int64)
+        if padding_work.shape != work.shape:
+            raise SimulationError("padding_work must have the same shape as work")
+        padding_total = int(padding_work.sum())
+    else:
+        padding_total = 0
+
+    busy = work.sum(axis=1)
+    entries_total = int(busy.sum())
+    theoretical = entries_total / num_pes if num_pes else 0.0
+
+    if num_broadcasts == 0:
+        return CycleStats(
+            total_cycles=0,
+            busy_cycles=np.zeros(num_pes, dtype=np.int64),
+            broadcasts=0,
+            entries_processed=0,
+            padding_entries=0,
+            theoretical_cycles=0.0,
+            num_pes=num_pes,
+            fifo_depth=fifo_depth,
+            clock_mhz=clock_mhz,
+        )
+
+    # done[p] after processing broadcast b; a ring buffer of the last
+    # ``fifo_depth`` completion vectors provides the backpressure term.
+    done = np.zeros(num_pes, dtype=np.int64)
+    completion_history = np.zeros((fifo_depth, num_pes), dtype=np.int64)
+    broadcast_time = 0
+    for b in range(num_broadcasts):
+        if b == 0:
+            broadcast_time = 1
+        else:
+            broadcast_time = broadcast_time + 1
+        if b >= fifo_depth:
+            # The CCU may only broadcast once every PE has retired broadcast
+            # b - fifo_depth (its FIFO slot is then free again).
+            oldest = completion_history[(b - fifo_depth) % fifo_depth]
+            broadcast_time = max(broadcast_time, int(oldest.max()))
+        start = np.maximum(done, broadcast_time)
+        done = start + work[:, b]
+        completion_history[b % fifo_depth] = done
+    total_cycles = int(done.max())
+
+    return CycleStats(
+        total_cycles=total_cycles,
+        busy_cycles=busy,
+        broadcasts=num_broadcasts,
+        entries_processed=entries_total,
+        padding_entries=padding_total,
+        theoretical_cycles=theoretical,
+        num_pes=num_pes,
+        fifo_depth=fifo_depth,
+        clock_mhz=clock_mhz,
+    )
+
+
+class CycleAccurateEIE:
+    """Cycle-level simulator facade operating on compressed layers.
+
+    For explicitly compressed layers (:class:`CompressedLayer`) the per-PE,
+    per-column work counts are extracted from the interleaved CSC storage; the
+    synthetic full-size workloads in :mod:`repro.workloads` provide the work
+    matrices directly (see :class:`repro.workloads.generator.LayerWorkload`).
+    """
+
+    def __init__(self, config: EIEConfig | None = None) -> None:
+        self.config = config or EIEConfig()
+
+    def simulate_layer(
+        self,
+        layer: CompressedLayer,
+        activations: np.ndarray,
+    ) -> CycleStats:
+        """Simulate the timing of running ``layer`` on ``activations``."""
+        if layer.num_pes != self.config.num_pes:
+            raise SimulationError(
+                f"layer is interleaved over {layer.num_pes} PEs but the configuration "
+                f"has {self.config.num_pes}"
+            )
+        activations = np.asarray(require_vector("activations", activations), dtype=np.float64)
+        if activations.shape[0] != layer.cols:
+            raise SimulationError(
+                f"activation length {activations.shape[0]} does not match layer "
+                f"input size {layer.cols}"
+            )
+        nonzero_columns = np.nonzero(activations)[0]
+        counts = layer.storage.entries_per_pe_column()
+        padding = np.zeros_like(counts)
+        for pe, matrix in enumerate(layer.storage.per_pe):
+            # Per-column padding counts for this PE.
+            col_counts = matrix.column_entry_counts()
+            padding_values = matrix.values == 0.0
+            if padding_values.any():
+                col_ids = np.repeat(np.arange(matrix.num_cols), col_counts)
+                padding[pe, :] = np.bincount(
+                    col_ids[padding_values], minlength=matrix.num_cols
+                )
+        work = counts[:, nonzero_columns]
+        padding_work = padding[:, nonzero_columns]
+        return simulate_layer_cycles(
+            work=work,
+            fifo_depth=self.config.fifo_depth,
+            padding_work=padding_work,
+            clock_mhz=self.config.clock_mhz,
+        )
+
+    def simulate_work_matrix(
+        self,
+        work: np.ndarray,
+        padding_work: np.ndarray | None = None,
+    ) -> CycleStats:
+        """Simulate the timing for an explicit work matrix."""
+        return simulate_layer_cycles(
+            work=work,
+            fifo_depth=self.config.fifo_depth,
+            padding_work=padding_work,
+            clock_mhz=self.config.clock_mhz,
+        )

@@ -1,0 +1,113 @@
+"""I/O-mode cost model: loading weights and activations into the PE SRAMs.
+
+In the CCU's I/O mode all PEs are idle while a DMA engine connected to the
+central unit writes the compressed weights, pointers and (for the first
+layer) activations into the per-PE SRAMs.  The paper treats this as a
+one-time cost per network ("This is one time cost"), which is why it does not
+appear in the per-frame Table IV numbers; this module quantifies that cost so
+users can reason about it, and also models the activation-SRAM batching that
+Section IV describes for input vectors longer than the 64-entry-per-PE
+register files (e.g. VGG-16's FC6 with 25088 inputs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compression.pipeline import CompressedLayer
+from repro.core.config import EIEConfig
+from repro.errors import ConfigurationError
+from repro.utils.validation import require_positive
+
+__all__ = ["DMAModel", "LoadCost", "activation_batches", "activation_sram_overhead_cycles"]
+
+
+@dataclass(frozen=True)
+class LoadCost:
+    """Cost of loading one compressed layer over DMA.
+
+    Attributes:
+        bytes_transferred: total bytes moved into the PE SRAMs.
+        transfer_time_s: wall-clock seconds at the DMA bandwidth.
+        cycles: equivalent accelerator cycles at the configured clock.
+    """
+
+    bytes_transferred: int
+    transfer_time_s: float
+    cycles: int
+
+    def amortized_over(self, inferences: int) -> float:
+        """Seconds of load time charged to each of ``inferences`` inferences."""
+        if inferences < 1:
+            raise ConfigurationError(f"inferences must be >= 1, got {inferences}")
+        return self.transfer_time_s / inferences
+
+
+@dataclass(frozen=True)
+class DMAModel:
+    """A simple bandwidth-bound DMA channel between the host and the CCU.
+
+    Attributes:
+        bandwidth_gbs: sustained DMA bandwidth in gigabytes per second
+            (a PCIe-3 x4-class link by default).
+    """
+
+    bandwidth_gbs: float = 4.0
+
+    def __post_init__(self) -> None:
+        require_positive("bandwidth_gbs", self.bandwidth_gbs)
+
+    def layer_load_cost(self, layer: CompressedLayer, config: EIEConfig | None = None) -> LoadCost:
+        """Cost of writing ``layer``'s compressed storage into the PE SRAMs."""
+        config = config or EIEConfig(num_pes=layer.num_pes)
+        total_bits = layer.storage_bits(pointer_bits=config.pointer_bits)
+        bytes_transferred = math.ceil(total_bits / 8)
+        transfer_time_s = bytes_transferred / (self.bandwidth_gbs * 1e9)
+        cycles = math.ceil(transfer_time_s * config.clock_hz)
+        return LoadCost(
+            bytes_transferred=bytes_transferred,
+            transfer_time_s=transfer_time_s,
+            cycles=cycles,
+        )
+
+    def network_load_cost(
+        self, layers: list[CompressedLayer], config: EIEConfig | None = None
+    ) -> LoadCost:
+        """Aggregate load cost of a multi-layer network."""
+        if not layers:
+            raise ConfigurationError("network_load_cost needs at least one layer")
+        costs = [self.layer_load_cost(layer, config) for layer in layers]
+        total_bytes = sum(cost.bytes_transferred for cost in costs)
+        total_time = sum(cost.transfer_time_s for cost in costs)
+        total_cycles = sum(cost.cycles for cost in costs)
+        return LoadCost(
+            bytes_transferred=total_bytes, transfer_time_s=total_time, cycles=total_cycles
+        )
+
+
+def activation_batches(vector_length: int, config: EIEConfig) -> int:
+    """Number of register-file-sized batches needed for an input vector.
+
+    The activation register files across all PEs hold
+    ``config.activation_capacity`` values (4K in the paper's configuration);
+    longer vectors — e.g. VGG-16 FC6's 25088 inputs — are processed in
+    batches, with the activation SRAM holding the overflow.
+    """
+    if vector_length < 1:
+        raise ConfigurationError(f"vector_length must be >= 1, got {vector_length}")
+    return math.ceil(vector_length / config.activation_capacity)
+
+
+def activation_sram_overhead_cycles(vector_length: int, config: EIEConfig) -> int:
+    """Extra cycles spent spilling/filling the activation SRAM between batches.
+
+    The SRAM is read at the start and written at the end of each batch beyond
+    the first; each transfer moves one register file worth of activations per
+    PE through the (activation-width) SRAM port, one value per PE per cycle.
+    """
+    batches = activation_batches(vector_length, config)
+    if batches <= 1:
+        return 0
+    transfers_per_batch = 2  # read sources at the start, write destinations at the end
+    return (batches - 1) * transfers_per_batch * config.act_regfile_entries

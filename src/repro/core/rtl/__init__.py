@@ -1,0 +1,24 @@
+"""Two-phase (propagate/update) RTL-style simulation kernel.
+
+The paper's evaluation methodology describes a custom cycle-accurate C++
+simulator in which "each hardware module is abstracted as an object that
+implements two abstract methods: propagate and update, corresponding to
+combinational logic and the flip-flop in RTL".  This subpackage reproduces
+that simulation kernel in Python (:mod:`repro.core.rtl.kernel`) and uses it to
+build a register-transfer-level model of a single processing element
+(:mod:`repro.core.rtl.pe_rtl`), which the test suite validates against the
+functional simulator — the same role the RTL/simulator cross-check plays in
+the paper.
+"""
+
+from repro.core.rtl.kernel import Module, Register, Simulator, Wire
+from repro.core.rtl.pe_rtl import RTLProcessingElement, run_pe_rtl
+
+__all__ = [
+    "Module",
+    "Register",
+    "RTLProcessingElement",
+    "Simulator",
+    "Wire",
+    "run_pe_rtl",
+]

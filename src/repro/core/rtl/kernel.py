@@ -1,0 +1,170 @@
+"""A minimal synchronous-circuit simulation kernel.
+
+Modules implement two methods, mirroring the paper's simulator design:
+
+* :meth:`Module.propagate` — combinational logic: compute next-state and
+  drive output wires from the current register values and input wires;
+* :meth:`Module.update` — the flip-flop: latch the next-state into the
+  registers at the clock edge.
+
+The :class:`Simulator` calls ``propagate`` on every module (repeatedly, until
+the wire values reach a fixed point, so module ordering does not matter) and
+then ``update`` on every module, once per clock cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import SimulationError
+
+__all__ = ["Wire", "Register", "Module", "Simulator"]
+
+
+class Wire:
+    """A named combinational signal driven during the propagate phase."""
+
+    def __init__(self, name: str, initial: Any = 0) -> None:
+        self.name = name
+        self.value = initial
+
+    def drive(self, value: Any) -> None:
+        """Set the wire's value for the current cycle."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Wire({self.name}={self.value!r})"
+
+
+class Register:
+    """A clocked state element: reads return the value latched last cycle."""
+
+    def __init__(self, name: str, initial: Any = 0) -> None:
+        self.name = name
+        self.value = initial
+        self._next = initial
+        self._written = False
+
+    def read(self) -> Any:
+        """Current (latched) value."""
+        return self.value
+
+    def write(self, value: Any) -> None:
+        """Schedule ``value`` to be latched at the next clock edge."""
+        self._next = value
+        self._written = True
+
+    def tick(self) -> None:
+        """Latch the scheduled value (called by the simulator)."""
+        if self._written:
+            self.value = self._next
+            self._written = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Register({self.name}={self.value!r})"
+
+
+class Module:
+    """Base class for hardware modules.
+
+    Subclasses declare their registers via :meth:`add_register` (so the
+    simulator can tick them) and implement :meth:`propagate` and, optionally,
+    :meth:`update` for behaviour beyond plain register latching.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._registers: list[Register] = []
+
+    def add_register(self, name: str, initial: Any = 0) -> Register:
+        """Create a register owned by this module."""
+        register = Register(f"{self.name}.{name}", initial)
+        self._registers.append(register)
+        return register
+
+    @property
+    def registers(self) -> list[Register]:
+        """Registers owned by this module."""
+        return list(self._registers)
+
+    def propagate(self) -> None:
+        """Combinational logic: drive wires and schedule register writes."""
+
+    def update(self) -> None:
+        """Sequential behaviour beyond register latching (optional)."""
+
+    def _tick_registers(self) -> None:
+        for register in self._registers:
+            register.tick()
+
+
+@dataclass
+class Simulator:
+    """Drives a set of modules cycle by cycle.
+
+    Attributes:
+        modules: the modules in the design (order does not matter).
+        max_propagate_iterations: fixed-point iteration limit for the
+            combinational phase, to catch accidental combinational loops.
+    """
+
+    modules: list[Module] = field(default_factory=list)
+    max_propagate_iterations: int = 8
+    cycle: int = 0
+
+    def add_module(self, module: Module) -> Module:
+        """Register a module with the simulator."""
+        self.modules.append(module)
+        return module
+
+    def _snapshot_wires(self) -> list[tuple[Wire, Any]]:
+        snapshot = []
+        for module in self.modules:
+            for attribute in vars(module).values():
+                if isinstance(attribute, Wire):
+                    snapshot.append((attribute, attribute.value))
+        return snapshot
+
+    def step(self) -> None:
+        """Advance the design by one clock cycle."""
+        # Combinational phase: iterate propagate until wires settle.
+        for _ in range(self.max_propagate_iterations):
+            before = self._snapshot_wires()
+            for module in self.modules:
+                module.propagate()
+            after = self._snapshot_wires()
+            if all(prev == wire.value for (wire, prev), (_, _) in zip(before, after)) and len(
+                before
+            ) == len(after):
+                break
+        else:
+            raise SimulationError(
+                "combinational signals did not settle; possible combinational loop"
+            )
+        # Sequential phase: latch registers and run per-module update hooks.
+        for module in self.modules:
+            module.update()
+            module._tick_registers()
+        self.cycle += 1
+
+    def run(self, cycles: int | None = None, until: Callable[[], bool] | None = None,
+            max_cycles: int = 1_000_000) -> int:
+        """Run for a fixed number of cycles or until a predicate is true.
+
+        Returns the number of cycles executed in this call.
+        """
+        if cycles is None and until is None:
+            raise SimulationError("run() needs either a cycle count or an 'until' predicate")
+        executed = 0
+        if cycles is not None:
+            for _ in range(cycles):
+                self.step()
+                executed += 1
+            return executed
+        while not until():
+            if executed >= max_cycles:
+                raise SimulationError(f"simulation did not finish within {max_cycles} cycles")
+            self.step()
+            executed += 1
+        return executed

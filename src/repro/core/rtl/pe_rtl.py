@@ -1,0 +1,191 @@
+"""Register-transfer-level model of a single EIE processing element.
+
+The model follows the PE datapath of Figure 4(b) as a small state machine
+built on the two-phase kernel:
+
+* ``PTR_READ`` — the column index at the head of the activation queue is used
+  to read the start and end pointers from the (banked) pointer SRAM; one
+  cycle.
+* ``STREAM`` — the sparse-matrix read unit delivers one (virtual weight,
+  relative index) entry per cycle; the weight decoder expands the 4-bit
+  virtual weight through the codebook, the address accumulator adds the
+  relative index to the running row position, and the arithmetic unit
+  performs ``b_x += S[I] * a_j`` into the destination activation registers.
+* when the column is exhausted the PE pops the next queued activation (or
+  idles until one arrives).
+
+The test suite validates this model against the functional
+:class:`~repro.core.pe.ProcessingElement` (same accumulator contents) and
+against the broadcast-level cycle model (consistent cycle counts), mirroring
+the paper's RTL-versus-simulator verification flow.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.csc import CSCMatrix
+from repro.compression.quantization import WeightCodebook
+from repro.core.activation_queue import QueueEntry
+from repro.core.rtl.kernel import Module, Simulator
+from repro.errors import SimulationError
+
+__all__ = ["RTLProcessingElement", "RTLRunResult", "run_pe_rtl"]
+
+_STATE_IDLE = "idle"
+_STATE_PTR_READ = "ptr_read"
+_STATE_STREAM = "stream"
+
+
+class RTLProcessingElement(Module):
+    """State-machine RTL model of one PE.
+
+    Args:
+        slice_matrix: the PE's CSC slice (values are codebook indices).
+        codebook: shared-weight table for the weight decoder.
+        queue_depth: activation FIFO depth.
+    """
+
+    def __init__(
+        self,
+        slice_matrix: CSCMatrix,
+        codebook: WeightCodebook,
+        queue_depth: int = 8,
+        name: str = "pe",
+    ) -> None:
+        super().__init__(name)
+        self.slice_matrix = slice_matrix
+        self.codebook = codebook
+        self.queue_depth = int(queue_depth)
+        self.queue: deque[QueueEntry] = deque()
+        self.accumulators = np.zeros(slice_matrix.num_rows, dtype=np.float64)
+
+        self.state = self.add_register("state", _STATE_IDLE)
+        self.cursor = self.add_register("cursor", 0)
+        self.column_end = self.add_register("column_end", 0)
+        self.row_position = self.add_register("row_position", -1)
+        self.current_value = self.add_register("current_value", 0.0)
+
+        self.cycles = 0
+        self.busy_cycles = 0
+        self.entries_retired = 0
+        self.ptr_reads = 0
+
+    # -- external interface ------------------------------------------------------
+
+    @property
+    def queue_full(self) -> bool:
+        """Whether the activation FIFO can accept another broadcast."""
+        return len(self.queue) >= self.queue_depth
+
+    def push_activation(self, entry: QueueEntry) -> None:
+        """Broadcast one non-zero activation into the FIFO."""
+        if self.queue_full:
+            raise SimulationError("broadcast into a full activation queue")
+        self.queue.append(entry)
+
+    @property
+    def idle(self) -> bool:
+        """True when no work is queued or in flight."""
+        return self.state.read() == _STATE_IDLE and not self.queue
+
+    # -- two-phase behaviour --------------------------------------------------------
+
+    def propagate(self) -> None:
+        state = self.state.read()
+        if state == _STATE_IDLE:
+            if self.queue:
+                self.state.write(_STATE_PTR_READ)
+        elif state == _STATE_PTR_READ:
+            entry = self.queue[0]
+            start = int(self.slice_matrix.col_ptr[entry.column])
+            end = int(self.slice_matrix.col_ptr[entry.column + 1])
+            self.ptr_reads += 2
+            if start == end:
+                # Empty column for this PE: pop and look for more work.
+                self.state.write(_STATE_PTR_READ if len(self.queue) > 1 else _STATE_IDLE)
+            else:
+                self.cursor.write(start)
+                self.column_end.write(end)
+                self.row_position.write(-1)
+                self.current_value.write(entry.value)
+                self.state.write(_STATE_STREAM)
+        elif state == _STATE_STREAM:
+            cursor = self.cursor.read()
+            end = self.column_end.read()
+            next_cursor = cursor + 1
+            if next_cursor >= end:
+                self.state.write(_STATE_PTR_READ if len(self.queue) > 1 else _STATE_IDLE)
+            self.cursor.write(next_cursor)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown PE state {state!r}")
+
+    def update(self) -> None:
+        state = self.state.read()
+        self.cycles += 1
+        if state == _STATE_PTR_READ:
+            entry = self.queue[0]
+            start = int(self.slice_matrix.col_ptr[entry.column])
+            end = int(self.slice_matrix.col_ptr[entry.column + 1])
+            if start == end:
+                self.queue.popleft()
+        elif state == _STATE_STREAM:
+            cursor = self.cursor.read()
+            index = int(self.slice_matrix.values[cursor])
+            run = int(self.slice_matrix.runs[cursor])
+            position = self.row_position.read() + run + 1
+            weight = self.codebook.centroids[index]
+            self.accumulators[position] += weight * self.current_value.read()
+            self.row_position.value = position  # address accumulator updates immediately
+            self.busy_cycles += 1
+            self.entries_retired += 1
+            if cursor + 1 >= self.column_end.read():
+                self.queue.popleft()
+
+
+@dataclass
+class RTLRunResult:
+    """Outcome of driving a single RTL PE through a broadcast schedule."""
+
+    accumulators: np.ndarray
+    cycles: int
+    busy_cycles: int
+    entries_retired: int
+    ptr_reads: int
+
+
+def run_pe_rtl(
+    slice_matrix: CSCMatrix,
+    codebook: WeightCodebook,
+    schedule: list[QueueEntry],
+    queue_depth: int = 8,
+    max_cycles: int = 1_000_000,
+) -> RTLRunResult:
+    """Drive one RTL PE through ``schedule`` and return its results.
+
+    Broadcasts are issued one per cycle as long as the FIFO has space,
+    mirroring the CCU's behaviour for a single-PE array.
+    """
+    pe = RTLProcessingElement(slice_matrix, codebook, queue_depth=queue_depth)
+    simulator = Simulator(modules=[pe])
+    pending = deque(schedule)
+
+    def finished() -> bool:
+        return not pending and pe.idle
+
+    while not finished():
+        if pending and not pe.queue_full:
+            pe.push_activation(pending.popleft())
+        simulator.step()
+        if simulator.cycle > max_cycles:
+            raise SimulationError(f"RTL simulation exceeded {max_cycles} cycles")
+    return RTLRunResult(
+        accumulators=pe.accumulators.copy(),
+        cycles=pe.cycles,
+        busy_cycles=pe.busy_cycles,
+        entries_retired=pe.entries_retired,
+        ptr_reads=pe.ptr_reads,
+    )

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the EIE reproduction library.
+
+All exceptions raised intentionally by :mod:`repro` derive from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a hardware or simulation configuration is invalid."""
+
+
+class EncodingError(ReproError):
+    """Raised when sparse-matrix encoding or decoding fails."""
+
+
+class CompressionError(ReproError):
+    """Raised when the Deep Compression pipeline is misused."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is driven with inconsistent inputs."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a benchmark workload specification is invalid."""

@@ -1,0 +1,102 @@
+"""Technology scaling between CMOS process nodes.
+
+The paper reports EIE results at TSMC 45 nm and projects them to 28 nm for the
+Table V comparison with DaDianNao, TrueNorth and the GPU platforms (which are
+built in 28 nm).  The projection uses classical constant-field (Dennard-style)
+scaling rules: area scales with the square of the feature size, delay scales
+linearly (so frequency scales inversely), and dynamic power scales with
+capacitance times voltage squared times frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "TechnologyNode",
+    "scale_area",
+    "scale_frequency",
+    "scale_power",
+    "project",
+    "NODE_45NM",
+    "NODE_28NM",
+]
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """A CMOS process node used for scaling projections.
+
+    Attributes:
+        feature_nm: drawn feature size in nanometres.
+        supply_v: nominal supply voltage.
+    """
+
+    feature_nm: float
+    supply_v: float
+
+    def __post_init__(self) -> None:
+        require_positive("feature_nm", self.feature_nm)
+        require_positive("supply_v", self.supply_v)
+
+
+#: TSMC 45 nm GP (the node EIE was synthesised in).
+NODE_45NM = TechnologyNode(feature_nm=45.0, supply_v=1.0)
+#: A generic 28 nm node (the node of Titan X / Tegra K1 / DaDianNao).
+NODE_28NM = TechnologyNode(feature_nm=28.0, supply_v=0.9)
+
+
+def scale_area(area: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale ``area`` from ``source`` to ``target`` (quadratic in feature size)."""
+    require_positive("area", area)
+    return area * (target.feature_nm / source.feature_nm) ** 2
+
+
+def scale_frequency(freq: float, source: TechnologyNode, target: TechnologyNode) -> float:
+    """Scale a clock frequency (gate delay is proportional to feature size)."""
+    require_positive("freq", freq)
+    return freq * (source.feature_nm / target.feature_nm)
+
+
+def scale_power(
+    power: float,
+    source: TechnologyNode,
+    target: TechnologyNode,
+    frequency_ratio: float | None = None,
+) -> float:
+    """Scale dynamic power ``P ~ C * V^2 * f`` between nodes.
+
+    Capacitance scales linearly with feature size; if ``frequency_ratio`` is
+    not given the frequency is assumed to scale with the gate-delay
+    improvement.
+    """
+    require_positive("power", power)
+    capacitance_ratio = target.feature_nm / source.feature_nm
+    voltage_ratio = (target.supply_v / source.supply_v) ** 2
+    if frequency_ratio is None:
+        frequency_ratio = source.feature_nm / target.feature_nm
+    return power * capacitance_ratio * voltage_ratio * frequency_ratio
+
+
+def project(
+    area_mm2: float,
+    power_w: float,
+    clock_mhz: float,
+    source: TechnologyNode = NODE_45NM,
+    target: TechnologyNode = NODE_28NM,
+) -> dict[str, float]:
+    """Project (area, power, clock) of a design from ``source`` to ``target``.
+
+    Returns a dict with keys ``area_mm2``, ``power_w`` and ``clock_mhz``.
+    Projecting the 64-PE, 800 MHz, 40.8 mm^2, 0.59 W EIE from 45 nm to 28 nm
+    yields a clock of roughly 1.2-1.3 GHz, which is how the paper arrives at
+    the 1200 MHz, 256-PE 28 nm configuration in Table V.
+    """
+    frequency_ratio = scale_frequency(1.0, source, target)
+    return {
+        "area_mm2": scale_area(area_mm2, source, target),
+        "power_w": scale_power(power_w, source, target, frequency_ratio=frequency_ratio),
+        "clock_mhz": clock_mhz * frequency_ratio,
+    }

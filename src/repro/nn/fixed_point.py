@@ -1,0 +1,106 @@
+"""Fixed-point number formats and quantisation.
+
+EIE uses 16-bit fixed-point arithmetic internally: the 4-bit weight index is
+expanded through the shared codebook to a 16-bit fixed-point value, and the
+accumulators and activation register files are 16 bits wide.  The arithmetic
+precision study (Figure 10) compares 32-bit float, 32-bit, 16-bit and 8-bit
+fixed point; this module supplies the quantisation used for that study and
+for the bit-exact mode of the functional simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FixedPointFormat", "quantization_snr_db", "FORMATS"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format Q(total-frac-1).(frac).
+
+    Attributes:
+        total_bits: total width in bits including the sign bit.
+        fraction_bits: number of fractional bits.
+    """
+
+    total_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise ConfigurationError(f"total_bits must be >= 2, got {self.total_bits}")
+        if not 0 <= self.fraction_bits < self.total_bits:
+            raise ConfigurationError(
+                "fraction_bits must satisfy 0 <= fraction_bits < total_bits, "
+                f"got {self.fraction_bits} for {self.total_bits} total bits"
+            )
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** -self.fraction_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    def to_fixed(self, values: np.ndarray | float) -> np.ndarray:
+        """Quantise ``values`` to integer codes with saturation."""
+        codes = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        low = -(2 ** (self.total_bits - 1))
+        high = 2 ** (self.total_bits - 1) - 1
+        return np.clip(codes, low, high).astype(np.int64)
+
+    def to_float(self, codes: np.ndarray) -> np.ndarray:
+        """Convert integer codes back to floating point."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Round-trip ``values`` through the format (quantise then dequantise)."""
+        return self.to_float(self.to_fixed(values))
+
+    def quantization_error(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise quantisation error ``quantize(x) - x``."""
+        values = np.asarray(values, dtype=np.float64)
+        return self.quantize(values) - values
+
+
+#: Formats used in the Figure 10 precision study.  Fraction bits are chosen
+#: so that typical FC-layer activations (roughly in [-8, 8)) do not saturate.
+FORMATS: dict[str, FixedPointFormat | None] = {
+    "float32": None,
+    "int32": FixedPointFormat(total_bits=32, fraction_bits=16),
+    "int16": FixedPointFormat(total_bits=16, fraction_bits=8),
+    "int8": FixedPointFormat(total_bits=8, fraction_bits=4),
+}
+
+
+def quantization_snr_db(values: np.ndarray, fmt: FixedPointFormat | None) -> float:
+    """Signal-to-quantisation-noise ratio in dB for ``values`` under ``fmt``.
+
+    ``fmt=None`` means full floating point and returns ``inf``.  The SNR feeds
+    the accuracy-degradation model used to reproduce Figure 10's right axis
+    without the ImageNet dataset.
+    """
+    if fmt is None:
+        return float("inf")
+    values = np.asarray(values, dtype=np.float64)
+    signal_power = float(np.mean(values**2))
+    if signal_power == 0.0:
+        return float("inf")
+    error = fmt.quantization_error(values)
+    noise_power = float(np.mean(error**2))
+    if noise_power == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)

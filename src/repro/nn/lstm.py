@@ -1,0 +1,182 @@
+"""LSTM cell decomposed into the paper's eight matrix-vector products.
+
+Section II of the paper notes that each LSTM cell can be decomposed into
+eight M x V operations: two (input projection and recurrent projection) for
+each of the input gate, forget gate, output gate, and candidate cell update.
+The NeuralTalk benchmarks (NT-We, NT-Wd, NT-LSTM) exercise exactly these
+matrices.  This implementation exposes each of the eight products separately
+so that the EIE simulators can be applied per-matrix, just as the paper's
+benchmark table lists NT-LSTM as a single (stacked) 1201 x 2400 layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import sigmoid, tanh
+from repro.utils.validation import require_matrix, require_vector
+
+__all__ = ["LSTMState", "LSTMCell", "LSTM_GATE_NAMES"]
+
+#: The four LSTM gates, each of which needs an input and a recurrent M x V.
+LSTM_GATE_NAMES = ("input", "forget", "output", "cell")
+
+
+@dataclass
+class LSTMState:
+    """Hidden and cell state of an LSTM at one time step."""
+
+    hidden: np.ndarray
+    cell: np.ndarray
+
+    @classmethod
+    def zeros(cls, hidden_size: int) -> "LSTMState":
+        """Return an all-zero state of the given size."""
+        return cls(hidden=np.zeros(hidden_size), cell=np.zeros(hidden_size))
+
+
+class LSTMCell:
+    """A standard LSTM cell with explicit per-gate weight matrices.
+
+    Args:
+        input_weights: dict mapping gate name to a ``(hidden, input)`` matrix
+            (the ``W`` matrices applied to the new input ``x_t``).
+        recurrent_weights: dict mapping gate name to a ``(hidden, hidden)``
+            matrix (the ``U`` matrices applied to the previous hidden state).
+        biases: optional dict mapping gate name to a ``(hidden,)`` bias.
+    """
+
+    def __init__(
+        self,
+        input_weights: dict[str, np.ndarray],
+        recurrent_weights: dict[str, np.ndarray],
+        biases: dict[str, np.ndarray] | None = None,
+    ) -> None:
+        missing = [g for g in LSTM_GATE_NAMES if g not in input_weights or g not in recurrent_weights]
+        if missing:
+            raise ConfigurationError(f"missing weights for gates: {missing}")
+        self.input_weights = {
+            gate: np.asarray(require_matrix(f"input_weights[{gate}]", input_weights[gate]), dtype=np.float64)
+            for gate in LSTM_GATE_NAMES
+        }
+        self.recurrent_weights = {
+            gate: np.asarray(
+                require_matrix(f"recurrent_weights[{gate}]", recurrent_weights[gate]), dtype=np.float64
+            )
+            for gate in LSTM_GATE_NAMES
+        }
+        hidden_sizes = {w.shape[0] for w in self.input_weights.values()}
+        hidden_sizes |= {w.shape[0] for w in self.recurrent_weights.values()}
+        if len(hidden_sizes) != 1:
+            raise ConfigurationError(f"inconsistent hidden sizes: {sorted(hidden_sizes)}")
+        self.hidden_size = hidden_sizes.pop()
+        input_sizes = {w.shape[1] for w in self.input_weights.values()}
+        if len(input_sizes) != 1:
+            raise ConfigurationError(f"inconsistent input sizes: {sorted(input_sizes)}")
+        self.input_size = input_sizes.pop()
+        for gate in LSTM_GATE_NAMES:
+            if self.recurrent_weights[gate].shape[1] != self.hidden_size:
+                raise ConfigurationError(
+                    f"recurrent weight for gate {gate!r} must be square in the hidden size"
+                )
+        if biases is None:
+            biases = {}
+        self.biases = {
+            gate: np.asarray(biases.get(gate, np.zeros(self.hidden_size)), dtype=np.float64)
+            for gate in LSTM_GATE_NAMES
+        }
+
+    # -- structure queries ----------------------------------------------------
+
+    @property
+    def num_matrix_vector_products(self) -> int:
+        """The paper's count of M x V operations per LSTM step (eight)."""
+        return 2 * len(LSTM_GATE_NAMES)
+
+    def matrices(self) -> list[tuple[str, np.ndarray]]:
+        """All eight weight matrices with descriptive names."""
+        result: list[tuple[str, np.ndarray]] = []
+        for gate in LSTM_GATE_NAMES:
+            result.append((f"W_{gate}", self.input_weights[gate]))
+            result.append((f"U_{gate}", self.recurrent_weights[gate]))
+        return result
+
+    def stacked_matrix(self) -> np.ndarray:
+        """Stack the eight matrices into one, as the NT-LSTM benchmark does.
+
+        The four input-projection matrices and four recurrent matrices are
+        stacked so a single M x V of shape ``(4 * hidden, input + hidden)``
+        computes all gate pre-activations at once.  (NT-LSTM's 1201 x 2400
+        entry in Table III corresponds to this stacked view, with the +1 from
+        the bias column.)
+        """
+        input_block = np.concatenate([self.input_weights[g] for g in LSTM_GATE_NAMES], axis=0)
+        recurrent_block = np.concatenate([self.recurrent_weights[g] for g in LSTM_GATE_NAMES], axis=0)
+        return np.concatenate([input_block, recurrent_block], axis=1)
+
+    # -- computation -----------------------------------------------------------
+
+    def gate_pre_activations(self, inputs: np.ndarray, state: LSTMState) -> dict[str, np.ndarray]:
+        """Compute the eight M x V products and sum them per gate."""
+        inputs = np.asarray(require_vector("inputs", inputs), dtype=np.float64)
+        if inputs.shape[0] != self.input_size:
+            raise ConfigurationError(
+                f"input length {inputs.shape[0]} does not match cell input size {self.input_size}"
+            )
+        hidden = np.asarray(require_vector("hidden", state.hidden), dtype=np.float64)
+        if hidden.shape[0] != self.hidden_size:
+            raise ConfigurationError(
+                f"hidden length {hidden.shape[0]} does not match cell hidden size {self.hidden_size}"
+            )
+        pre: dict[str, np.ndarray] = {}
+        for gate in LSTM_GATE_NAMES:
+            pre[gate] = (
+                self.input_weights[gate] @ inputs
+                + self.recurrent_weights[gate] @ hidden
+                + self.biases[gate]
+            )
+        return pre
+
+    def step(self, inputs: np.ndarray, state: LSTMState) -> LSTMState:
+        """Advance the cell by one time step and return the new state."""
+        pre = self.gate_pre_activations(inputs, state)
+        input_gate = sigmoid(pre["input"])
+        forget_gate = sigmoid(pre["forget"])
+        output_gate = sigmoid(pre["output"])
+        candidate = tanh(pre["cell"])
+        new_cell = forget_gate * state.cell + input_gate * candidate
+        new_hidden = output_gate * tanh(new_cell)
+        return LSTMState(hidden=new_hidden, cell=new_cell)
+
+    def run_sequence(self, sequence: np.ndarray, state: LSTMState | None = None) -> list[LSTMState]:
+        """Run the cell over ``sequence`` (time-major 2-D array) of inputs."""
+        sequence = np.asarray(sequence, dtype=np.float64)
+        if sequence.ndim != 2:
+            raise ConfigurationError(f"sequence must be 2-D (time, features), got {sequence.shape}")
+        if state is None:
+            state = LSTMState.zeros(self.hidden_size)
+        states: list[LSTMState] = []
+        for step_input in sequence:
+            state = self.step(step_input, state)
+            states.append(state)
+        return states
+
+    @classmethod
+    def random(
+        cls,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        scale: float = 0.1,
+    ) -> "LSTMCell":
+        """Create a cell with random Gaussian weights (for synthetic workloads)."""
+        input_weights = {
+            gate: rng.normal(0.0, scale, size=(hidden_size, input_size)) for gate in LSTM_GATE_NAMES
+        }
+        recurrent_weights = {
+            gate: rng.normal(0.0, scale, size=(hidden_size, hidden_size)) for gate in LSTM_GATE_NAMES
+        }
+        return cls(input_weights=input_weights, recurrent_weights=recurrent_weights)

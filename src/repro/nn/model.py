@@ -1,0 +1,124 @@
+"""Multi-layer feed-forward models built from fully-connected layers.
+
+The paper's CNN benchmarks only exercise the fully-connected tail of AlexNet
+and VGG-16 (FC6, FC7, FC8), so a simple sequential stack of
+:class:`~repro.nn.layers.FullyConnectedLayer` objects is the model abstraction
+EIE needs.  The network records the intermediate activations so that the
+activation-sparsity statistics (the ``Act%`` column of Table III) can be
+measured on real forward passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.reference import sparse_density
+from repro.utils.validation import require_vector
+
+__all__ = ["FeedForwardNetwork", "ForwardTrace"]
+
+
+@dataclass
+class ForwardTrace:
+    """Record of one forward pass through a feed-forward network.
+
+    Attributes:
+        inputs: the network input vector.
+        activations: output of each layer, in order.
+    """
+
+    inputs: np.ndarray
+    activations: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def output(self) -> np.ndarray:
+        """Final network output."""
+        if not self.activations:
+            return self.inputs
+        return self.activations[-1]
+
+    def layer_input(self, index: int) -> np.ndarray:
+        """The vector fed into layer ``index``."""
+        if index == 0:
+            return self.inputs
+        return self.activations[index - 1]
+
+    def activation_density(self, index: int) -> float:
+        """Density of the vector fed into layer ``index`` (dynamic sparsity)."""
+        return sparse_density(self.layer_input(index))
+
+
+class FeedForwardNetwork:
+    """A sequential stack of fully-connected layers.
+
+    The output size of every layer must match the input size of the next.
+    """
+
+    def __init__(self, layers: list[FullyConnectedLayer], name: str = "network") -> None:
+        if not layers:
+            raise ConfigurationError("a network needs at least one layer")
+        for previous, current in zip(layers, layers[1:]):
+            if previous.output_size != current.input_size:
+                raise ConfigurationError(
+                    f"layer {previous.name!r} output size {previous.output_size} does "
+                    f"not match layer {current.name!r} input size {current.input_size}"
+                )
+        self.layers = list(layers)
+        self.name = name
+
+    @property
+    def input_size(self) -> int:
+        """Input vector length expected by the first layer."""
+        return self.layers[0].input_size
+
+    @property
+    def output_size(self) -> int:
+        """Output vector length produced by the last layer."""
+        return self.layers[-1].output_size
+
+    @property
+    def num_parameters(self) -> int:
+        """Total number of dense weights (plus biases) in the network."""
+        total = 0
+        for layer in self.layers:
+            total += layer.num_weights
+            if layer.bias is not None:
+                total += layer.bias.shape[0]
+        return total
+
+    @property
+    def total_flops(self) -> int:
+        """FLOPs of one dense forward pass (2 per weight)."""
+        return sum(layer.flops for layer in self.layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the network and return the final output."""
+        return self.trace(inputs).output
+
+    def trace(self, inputs: np.ndarray) -> ForwardTrace:
+        """Run the network and return all intermediate activations."""
+        inputs = np.asarray(require_vector("inputs", inputs), dtype=np.float64)
+        if inputs.shape[0] != self.input_size:
+            raise ConfigurationError(
+                f"input length {inputs.shape[0]} does not match network "
+                f"input size {self.input_size}"
+            )
+        trace = ForwardTrace(inputs=inputs)
+        current = inputs
+        for layer in self.layers:
+            current = layer.forward(current)
+            trace.activations.append(current)
+        return trace
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self):
+        return iter(self.layers)

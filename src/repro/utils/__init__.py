@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG helpers and argument validation."""
+
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.validation import (
+    require_between,
+    require_in,
+    require_matrix,
+    require_non_negative,
+    require_positive,
+    require_power_of_two,
+    require_vector,
+)
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "require_between",
+    "require_in",
+    "require_matrix",
+    "require_non_negative",
+    "require_positive",
+    "require_power_of_two",
+    "require_vector",
+]

@@ -1,0 +1,254 @@
+"""The nine benchmark layers of Table III.
+
+Each benchmark is a fully-connected layer from a compressed network:
+
+========  =============  =======  ======  =========================================
+Name      input, output  Weight%  Act%    Source network
+========  =============  =======  ======  =========================================
+Alex-6    9216 -> 4096   9%       35.1%   AlexNet FC6 (image classification)
+Alex-7    4096 -> 4096   9%       35.3%   AlexNet FC7
+Alex-8    4096 -> 1000   25%      37.5%   AlexNet FC8
+VGG-6     25088 -> 4096  4%       18.3%   VGG-16 FC6 (classification/detection)
+VGG-7     4096 -> 4096   4%       37.5%   VGG-16 FC7
+VGG-8     4096 -> 1000   23%      41.1%   VGG-16 FC8
+NT-We     4096 -> 600    10%      100%    NeuralTalk word embedding
+NT-Wd     600 -> 8791    11%      100%    NeuralTalk word decoder
+NT-LSTM   1201 -> 2400   10%      100%    NeuralTalk LSTM (stacked gate matrices)
+========  =============  =======  ======  =========================================
+
+``Weight%`` is the density of the pruned weight matrix and ``Act%`` the
+density of the input activation vector; their product is approximately the
+``FLOP%`` column of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import WorkloadError
+from repro.utils.rng import derive_seed
+
+__all__ = ["LayerSpec", "ALL_BENCHMARKS", "BENCHMARK_NAMES", "get_benchmark", "scaled_benchmarks"]
+
+#: Base seed from which every benchmark derives its deterministic pattern.
+BASE_SEED = 20160618
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Statistical description of one benchmark FC layer.
+
+    Attributes:
+        name: benchmark name as used in the paper's figures.
+        input_size: length of the input activation vector (matrix columns).
+        output_size: length of the output activation vector (matrix rows).
+        weight_density: fraction of non-zero weights after pruning.
+        activation_density: fraction of non-zero input activations.
+        description: source network / role of the layer.
+        seed: RNG seed for the synthetic sparsity pattern.
+    """
+
+    name: str
+    input_size: int
+    output_size: int
+    weight_density: float
+    activation_density: float
+    description: str = ""
+    seed: int = BASE_SEED
+
+    def __post_init__(self) -> None:
+        if self.input_size < 1 or self.output_size < 1:
+            raise WorkloadError(f"{self.name}: layer sizes must be >= 1")
+        if not 0.0 < self.weight_density <= 1.0:
+            raise WorkloadError(f"{self.name}: weight_density must be in (0, 1]")
+        if not 0.0 < self.activation_density <= 1.0:
+            raise WorkloadError(f"{self.name}: activation_density must be in (0, 1]")
+
+    # -- matrix view ------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Weight-matrix rows (output size)."""
+        return self.output_size
+
+    @property
+    def cols(self) -> int:
+        """Weight-matrix columns (input size)."""
+        return self.input_size
+
+    @property
+    def dense_weights(self) -> int:
+        """Number of weights in the uncompressed matrix."""
+        return self.rows * self.cols
+
+    @property
+    def nonzero_weights(self) -> int:
+        """Expected number of surviving weights after pruning."""
+        return int(round(self.dense_weights * self.weight_density))
+
+    @property
+    def dense_macs(self) -> int:
+        """Multiply-accumulates of the dense computation."""
+        return self.dense_weights
+
+    @property
+    def dense_flops(self) -> int:
+        """FLOPs of the dense computation (2 per weight)."""
+        return 2 * self.dense_weights
+
+    @property
+    def expected_work(self) -> float:
+        """Expected MACs on the compressed network (weights x activations)."""
+        return self.dense_weights * self.weight_density * self.activation_density
+
+    @property
+    def flop_fraction(self) -> float:
+        """The paper's FLOP% column: work remaining after both sparsities."""
+        return self.weight_density * self.activation_density
+
+    @property
+    def weight_seed(self) -> int:
+        """Seed used for the weight sparsity pattern."""
+        return derive_seed(self.seed, self.name, "weights")
+
+    @property
+    def activation_seed(self) -> int:
+        """Seed used for the input activation vector."""
+        return derive_seed(self.seed, self.name, "activations")
+
+    # -- derived workloads ----------------------------------------------------------
+
+    def scaled(self, factor: float, min_size: int = 16) -> "LayerSpec":
+        """A proportionally smaller version of this layer (for fast tests).
+
+        Sizes are divided by ``factor`` (at least ``min_size``); densities are
+        unchanged, so padding-zero and load-balance behaviour stays
+        representative.
+        """
+        if factor <= 0:
+            raise WorkloadError(f"scale factor must be > 0, got {factor}")
+        return replace(
+            self,
+            name=f"{self.name}-x{factor:g}",
+            input_size=max(min_size, int(round(self.input_size / factor))),
+            output_size=max(min_size, int(round(self.output_size / factor))),
+        )
+
+
+#: Table III of the paper as LayerSpec records.
+ALL_BENCHMARKS: dict[str, LayerSpec] = {
+    spec.name: spec
+    for spec in (
+        LayerSpec(
+            name="Alex-6",
+            input_size=9216,
+            output_size=4096,
+            weight_density=0.09,
+            activation_density=0.351,
+            description="Compressed AlexNet FC6 for large scale image classification",
+        ),
+        LayerSpec(
+            name="Alex-7",
+            input_size=4096,
+            output_size=4096,
+            weight_density=0.09,
+            activation_density=0.353,
+            description="Compressed AlexNet FC7 for large scale image classification",
+        ),
+        LayerSpec(
+            name="Alex-8",
+            input_size=4096,
+            output_size=1000,
+            weight_density=0.25,
+            activation_density=0.375,
+            description="Compressed AlexNet FC8 for large scale image classification",
+        ),
+        LayerSpec(
+            name="VGG-6",
+            input_size=25088,
+            output_size=4096,
+            weight_density=0.04,
+            activation_density=0.183,
+            description="Compressed VGG-16 FC6 for image classification and object detection",
+        ),
+        LayerSpec(
+            name="VGG-7",
+            input_size=4096,
+            output_size=4096,
+            weight_density=0.04,
+            activation_density=0.375,
+            description="Compressed VGG-16 FC7 for image classification and object detection",
+        ),
+        LayerSpec(
+            name="VGG-8",
+            input_size=4096,
+            output_size=1000,
+            weight_density=0.23,
+            activation_density=0.411,
+            description="Compressed VGG-16 FC8 for image classification and object detection",
+        ),
+        LayerSpec(
+            name="NT-We",
+            input_size=4096,
+            output_size=600,
+            weight_density=0.10,
+            activation_density=1.0,
+            description="Compressed NeuralTalk word embedding (RNN/LSTM image captioning)",
+        ),
+        LayerSpec(
+            name="NT-Wd",
+            input_size=600,
+            output_size=8791,
+            weight_density=0.11,
+            activation_density=1.0,
+            description="Compressed NeuralTalk word decoder (RNN/LSTM image captioning)",
+        ),
+        LayerSpec(
+            name="NT-LSTM",
+            input_size=1201,
+            output_size=2400,
+            weight_density=0.10,
+            activation_density=1.0,
+            description="Compressed NeuralTalk LSTM gate matrices (image captioning)",
+        ),
+    )
+}
+
+#: Benchmark names in the order the paper's figures use.
+BENCHMARK_NAMES: tuple[str, ...] = (
+    "Alex-6",
+    "Alex-7",
+    "Alex-8",
+    "VGG-6",
+    "VGG-7",
+    "VGG-8",
+    "NT-We",
+    "NT-Wd",
+    "NT-LSTM",
+)
+
+
+def get_benchmark(name: str) -> LayerSpec:
+    """Look up a benchmark layer by its paper name."""
+    try:
+        return ALL_BENCHMARKS[name]
+    except KeyError as error:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; expected one of {sorted(ALL_BENCHMARKS)}"
+        ) from error
+
+
+def scaled_benchmarks(factor: float, min_size: int = 16) -> dict[str, LayerSpec]:
+    """Proportionally scaled-down versions of all nine benchmarks."""
+    return {name: ALL_BENCHMARKS[name].scaled(factor, min_size) for name in BENCHMARK_NAMES}
+
+
+def resolve_spec(benchmark: "str | LayerSpec") -> LayerSpec:
+    """Accept either a paper benchmark name or an explicit :class:`LayerSpec`.
+
+    The analysis functions take this union so that the full-size Table III
+    layers and scaled-down test layers can flow through the same code.
+    """
+    if isinstance(benchmark, LayerSpec):
+        return benchmark
+    return get_benchmark(benchmark)

@@ -1,0 +1,179 @@
+"""Workload construction for the cycle-level simulator.
+
+A :class:`LayerWorkload` packages everything the timing model needs for one
+benchmark layer at full Table III scale: the per-(PE, column) entry counts of
+the interleaved CSC encoding (including padding zeros), the broadcast order
+of the non-zero input activations, and the bookkeeping totals used by the
+energy model and the figures.
+
+:class:`WorkloadBuilder` caches the expensive part — the Bernoulli sparsity
+pattern of each benchmark — so that the design-space sweeps (varying FIFO
+depth, PE count or SRAM width over the same layer) do not regenerate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.csc import DEFAULT_MAX_RUN, interleaved_entry_counts
+from repro.core.config import EIEConfig
+from repro.core.cycle_model import CycleStats, simulate_layer_cycles
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.workloads.benchmarks import LayerSpec
+from repro.workloads.synthetic import SparsePattern, generate_activations, generate_sparse_pattern
+
+__all__ = ["LayerWorkload", "WorkloadBuilder"]
+
+
+@dataclass
+class LayerWorkload:
+    """One benchmark layer prepared for the cycle-level simulator.
+
+    Attributes:
+        spec: the benchmark description.
+        num_pes: number of PEs the matrix is interleaved over.
+        work: shape ``(num_pes, broadcasts)`` — encoded entries each PE must
+            process for each broadcast non-zero activation, in broadcast order.
+        padding_work: same shape — padding-zero entries among ``work``.
+        nonzero_columns: the input-vector indices that are broadcast.
+        total_entries: stored entries of the whole matrix (all columns).
+        total_padding: padding-zero entries of the whole matrix.
+        true_nonzeros: genuine non-zero weights of the whole matrix.
+    """
+
+    spec: LayerSpec
+    num_pes: int
+    work: np.ndarray
+    padding_work: np.ndarray
+    nonzero_columns: np.ndarray
+    total_entries: int
+    total_padding: int
+    true_nonzeros: int
+
+    @property
+    def broadcasts(self) -> int:
+        """Number of non-zero activations broadcast."""
+        return int(self.nonzero_columns.shape[0])
+
+    @property
+    def touched_entries(self) -> int:
+        """Entries processed for this input (columns with non-zero activation)."""
+        return int(self.work.sum())
+
+    @property
+    def real_work_fraction(self) -> float:
+        """Useful entries / stored entries for the whole matrix (Figure 12)."""
+        if self.total_entries == 0:
+            return 1.0
+        return 1.0 - self.total_padding / self.total_entries
+
+    @property
+    def dense_macs(self) -> int:
+        """MACs of the equivalent dense computation."""
+        return self.spec.dense_macs
+
+    def per_pe_entries(self) -> np.ndarray:
+        """Stored entries per PE for the touched columns."""
+        return self.work.sum(axis=1)
+
+    def simulate(self, config: EIEConfig) -> CycleStats:
+        """Run the cycle-level timing model for this workload."""
+        if config.num_pes != self.num_pes:
+            raise WorkloadError(
+                f"workload was built for {self.num_pes} PEs, configuration has {config.num_pes}"
+            )
+        return simulate_layer_cycles(
+            work=self.work,
+            fifo_depth=config.fifo_depth,
+            padding_work=self.padding_work,
+            clock_mhz=config.clock_mhz,
+        )
+
+
+class WorkloadBuilder:
+    """Builds (and caches) full-scale benchmark workloads.
+
+    Args:
+        max_run: largest zero run representable by the relative index.
+    """
+
+    def __init__(self, max_run: int = DEFAULT_MAX_RUN) -> None:
+        self.max_run = int(max_run)
+        self._pattern_cache: dict[tuple[str, int, int, float], SparsePattern] = {}
+        self._activation_cache: dict[tuple[str, int, int, float], np.ndarray] = {}
+        self._workload_cache: dict[tuple[str, int, int, float, float, int], LayerWorkload] = {}
+
+    # -- cached primitives ---------------------------------------------------------
+
+    def pattern(self, spec: LayerSpec) -> SparsePattern:
+        """The (cached) weight sparsity pattern for ``spec``."""
+        key = (spec.name, spec.rows, spec.cols, spec.weight_density)
+        if key not in self._pattern_cache:
+            rng = make_rng(spec.weight_seed)
+            self._pattern_cache[key] = generate_sparse_pattern(
+                spec.rows, spec.cols, spec.weight_density, rng
+            )
+        return self._pattern_cache[key]
+
+    def activations(self, spec: LayerSpec) -> np.ndarray:
+        """The (cached) input activation vector for ``spec``."""
+        key = (spec.name, spec.cols, spec.rows, spec.activation_density)
+        if key not in self._activation_cache:
+            rng = make_rng(spec.activation_seed)
+            self._activation_cache[key] = generate_activations(
+                spec.cols, spec.activation_density, rng
+            )
+        return self._activation_cache[key]
+
+    def clear_cache(self) -> None:
+        """Drop all cached patterns, activation vectors and workloads."""
+        self._pattern_cache.clear()
+        self._activation_cache.clear()
+        self._workload_cache.clear()
+
+    # -- workload assembly ------------------------------------------------------------
+
+    def build(self, spec: LayerSpec, num_pes: int) -> LayerWorkload:
+        """Assemble the cycle-model workload for ``spec`` on ``num_pes`` PEs.
+
+        Results are cached per (layer, PE count) pair: the design-space sweeps
+        revisit the same combination many times (e.g. Figures 11 and 13 share
+        every point of the PE sweep).
+        """
+        if num_pes < 1:
+            raise WorkloadError(f"num_pes must be >= 1, got {num_pes}")
+        cache_key = (
+            spec.name, spec.rows, spec.cols, spec.weight_density, spec.activation_density,
+            int(num_pes),
+        )
+        if cache_key in self._workload_cache:
+            return self._workload_cache[cache_key]
+        pattern = self.pattern(spec)
+        activations = self.activations(spec)
+        counts, padding = interleaved_entry_counts(
+            pattern.row_indices,
+            pattern.col_ptr,
+            num_rows=spec.rows,
+            num_pes=num_pes,
+            max_run=self.max_run,
+        )
+        nonzero_columns = np.nonzero(activations)[0]
+        work = counts[:, nonzero_columns]
+        padding_work = padding[:, nonzero_columns]
+        total_entries = int(counts.sum())
+        total_padding = int(padding.sum())
+        workload = LayerWorkload(
+            spec=spec,
+            num_pes=num_pes,
+            work=work,
+            padding_work=padding_work,
+            nonzero_columns=nonzero_columns,
+            total_entries=total_entries,
+            total_padding=total_padding,
+            true_nonzeros=total_entries - total_padding,
+        )
+        self._workload_cache[cache_key] = workload
+        return workload

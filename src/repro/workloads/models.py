@@ -1,0 +1,116 @@
+"""Model builders for the example applications.
+
+These helpers construct the network structures the paper's benchmarks come
+from — the fully-connected tails of AlexNet and VGG-16 and the NeuralTalk
+LSTM — with synthetic weights at the Table III densities.  They are sized by
+a scale factor so the examples run in seconds on a laptop while preserving
+the structure (layer chaining, ReLU sparsity, LSTM gate decomposition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.lstm import LSTM_GATE_NAMES, LSTMCell
+from repro.nn.model import FeedForwardNetwork
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.benchmarks import ALL_BENCHMARKS, LayerSpec
+from repro.workloads.synthetic import generate_dense_weights
+
+__all__ = [
+    "random_dense_layer",
+    "build_alexnet_fc_network",
+    "build_vgg_fc_network",
+    "build_neuraltalk_lstm",
+]
+
+
+def random_dense_layer(
+    spec: LayerSpec,
+    activation: str = "relu",
+    rng: np.random.Generator | int | None = None,
+) -> FullyConnectedLayer:
+    """A dense FC layer whose weights follow ``spec``'s sparsity pattern."""
+    weights = generate_dense_weights(spec, rng=rng)
+    return FullyConnectedLayer(weight=weights, activation=activation, name=spec.name)
+
+
+def _chained_specs(names: list[str], scale: float) -> list[LayerSpec]:
+    """Scaled specs for a layer chain, forcing adjacent sizes to match."""
+    specs = [ALL_BENCHMARKS[name].scaled(scale) for name in names]
+    chained: list[LayerSpec] = []
+    for index, spec in enumerate(specs):
+        if index == 0:
+            chained.append(spec)
+            continue
+        previous = chained[-1]
+        # Force the chain to be connectable after integer rounding.
+        chained.append(
+            LayerSpec(
+                name=spec.name,
+                input_size=previous.output_size,
+                output_size=spec.output_size,
+                weight_density=spec.weight_density,
+                activation_density=spec.activation_density,
+                description=spec.description,
+                seed=spec.seed,
+            )
+        )
+    return chained
+
+
+def build_alexnet_fc_network(scale: float = 32.0) -> FeedForwardNetwork:
+    """The FC6 -> FC7 -> FC8 tail of compressed AlexNet, scaled by ``scale``."""
+    if scale <= 0:
+        raise WorkloadError(f"scale must be > 0, got {scale}")
+    specs = _chained_specs(["Alex-6", "Alex-7", "Alex-8"], scale)
+    layers = []
+    for spec in specs:
+        activation = "relu" if not spec.name.startswith("Alex-8") else "identity"
+        layers.append(random_dense_layer(spec, activation=activation))
+    return FeedForwardNetwork(layers, name=f"alexnet-fc-x{scale:g}")
+
+
+def build_vgg_fc_network(scale: float = 32.0) -> FeedForwardNetwork:
+    """The FC6 -> FC7 -> FC8 tail of compressed VGG-16, scaled by ``scale``."""
+    if scale <= 0:
+        raise WorkloadError(f"scale must be > 0, got {scale}")
+    specs = _chained_specs(["VGG-6", "VGG-7", "VGG-8"], scale)
+    layers = []
+    for spec in specs:
+        activation = "relu" if not spec.name.startswith("VGG-8") else "identity"
+        layers.append(random_dense_layer(spec, activation=activation))
+    return FeedForwardNetwork(layers, name=f"vgg-fc-x{scale:g}")
+
+
+def build_neuraltalk_lstm(scale: float = 8.0, seed: int = 7) -> LSTMCell:
+    """A NeuralTalk-style LSTM cell with sparse gate matrices.
+
+    The full NT-LSTM benchmark stacks the gate matrices into a 1201 x 2400
+    layer; this builder produces the cell form (hidden size 600 / input size
+    600 at scale 1) with each gate matrix pruned to the NT-LSTM density.
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be > 0, got {scale}")
+    spec = ALL_BENCHMARKS["NT-LSTM"]
+    hidden = max(8, int(round(600 / scale)))
+    inputs = max(8, int(round(600 / scale)))
+    density = spec.weight_density
+    input_weights: dict[str, np.ndarray] = {}
+    recurrent_weights: dict[str, np.ndarray] = {}
+    for gate in LSTM_GATE_NAMES:
+        w_rng = make_rng(derive_seed(seed, "W", gate))
+        u_rng = make_rng(derive_seed(seed, "U", gate))
+        w = w_rng.normal(0.0, 0.1, size=(hidden, inputs))
+        u = u_rng.normal(0.0, 0.1, size=(hidden, hidden))
+        w[w_rng.random(w.shape) >= density] = 0.0
+        u[u_rng.random(u.shape) >= density] = 0.0
+        if not np.count_nonzero(w):
+            w[0, 0] = 0.1
+        if not np.count_nonzero(u):
+            u[0, 0] = 0.1
+        input_weights[gate] = w
+        recurrent_weights[gate] = u
+    return LSTMCell(input_weights=input_weights, recurrent_weights=recurrent_weights)

@@ -1,0 +1,163 @@
+"""Synthetic sparse matrices and activation vectors.
+
+The paper notes (Section VII-A) that both the weight and the activation
+sparsity of its workloads are approximately randomly distributed, so
+Bernoulli-sampled patterns with the Table III densities exercise the same
+code paths and produce the same load-balance and padding-zero behaviour as
+the real pruned networks.  All generation is deterministic given the seed in
+the :class:`~repro.workloads.benchmarks.LayerSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.workloads.benchmarks import LayerSpec
+
+__all__ = [
+    "SparsePattern",
+    "generate_sparse_pattern",
+    "generate_activations",
+    "generate_dense_weights",
+]
+
+
+@dataclass
+class SparsePattern:
+    """Column-compressed description of a sparsity pattern (no values).
+
+    Attributes:
+        row_indices: row index of every non-zero, grouped by column with rows
+            sorted ascending within each column.
+        col_ptr: length ``num_cols + 1`` offsets into ``row_indices``.
+        shape: dense ``(rows, cols)``.
+    """
+
+    row_indices: np.ndarray
+    col_ptr: np.ndarray
+    shape: tuple[int, int]
+
+    @property
+    def rows(self) -> int:
+        """Dense row count."""
+        return self.shape[0]
+
+    @property
+    def cols(self) -> int:
+        """Dense column count."""
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero positions."""
+        return int(self.row_indices.shape[0])
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero positions."""
+        total = self.rows * self.cols
+        return self.nnz / total if total else 0.0
+
+    def column_nnz(self) -> np.ndarray:
+        """Non-zero count per column."""
+        return np.diff(self.col_ptr)
+
+    def column_rows(self, column: int) -> np.ndarray:
+        """Row indices of the non-zeros in ``column``."""
+        if not 0 <= column < self.cols:
+            raise WorkloadError(f"column {column} out of range [0, {self.cols})")
+        start, end = self.col_ptr[column], self.col_ptr[column + 1]
+        return self.row_indices[start:end]
+
+    def to_dense_mask(self) -> np.ndarray:
+        """Boolean dense mask (only sensible for small patterns)."""
+        mask = np.zeros(self.shape, dtype=bool)
+        columns = np.repeat(np.arange(self.cols), self.column_nnz())
+        mask[self.row_indices, columns] = True
+        return mask
+
+
+def generate_sparse_pattern(
+    rows: int,
+    cols: int,
+    density: float,
+    rng: np.random.Generator | int | None = None,
+    column_block: int = 256,
+) -> SparsePattern:
+    """Sample a Bernoulli(``density``) sparsity pattern of shape (rows, cols).
+
+    Columns are generated in blocks to bound peak memory for the large VGG-6
+    matrix (25088 x 4096).
+    """
+    if rows < 1 or cols < 1:
+        raise WorkloadError("rows and cols must be >= 1")
+    if not 0.0 < density <= 1.0:
+        raise WorkloadError(f"density must be in (0, 1], got {density}")
+    rng = make_rng(rng)
+    chunks: list[np.ndarray] = []
+    column_counts = np.zeros(cols, dtype=np.int64)
+    for start in range(0, cols, column_block):
+        end = min(start + column_block, cols)
+        block = rng.random((rows, end - start)) < density
+        # Transposing groups the non-zeros by column, rows ascending within
+        # each column — exactly the ordering SparsePattern requires.
+        column_offsets, row_ids = np.nonzero(block.T)
+        chunks.append(row_ids.astype(np.int64))
+        column_counts[start:end] = np.bincount(column_offsets, minlength=end - start)
+    row_indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    col_ptr = np.zeros(cols + 1, dtype=np.int64)
+    np.cumsum(column_counts, out=col_ptr[1:])
+    return SparsePattern(row_indices=row_indices, col_ptr=col_ptr, shape=(rows, cols))
+
+
+def generate_activations(
+    size: int,
+    density: float,
+    rng: np.random.Generator | int | None = None,
+    distribution: str = "uniform",
+) -> np.ndarray:
+    """Sample an activation vector with roughly ``density`` non-zeros.
+
+    Non-zero values are positive (post-ReLU activations), drawn either
+    uniformly from (0, 1] or from the positive half of a normal distribution.
+    """
+    if size < 1:
+        raise WorkloadError(f"size must be >= 1, got {size}")
+    if not 0.0 < density <= 1.0:
+        raise WorkloadError(f"density must be in (0, 1], got {density}")
+    rng = make_rng(rng)
+    mask = rng.random(size) < density
+    if not mask.any():
+        mask[rng.integers(0, size)] = True
+    if distribution == "uniform":
+        values = rng.uniform(0.1, 1.0, size=size)
+    elif distribution == "normal":
+        values = np.abs(rng.normal(0.0, 1.0, size=size)) + 1e-3
+    else:
+        raise WorkloadError(f"unknown distribution {distribution!r}")
+    return np.where(mask, values, 0.0)
+
+
+def generate_dense_weights(
+    spec: LayerSpec,
+    rng: np.random.Generator | int | None = None,
+    scale: float = 0.1,
+) -> np.ndarray:
+    """Materialise a dense weight matrix with the spec's sparsity pattern.
+
+    Only intended for layers small enough to hold densely (tests, examples,
+    and the scaled-down benchmark variants); values are Gaussian.
+    """
+    rng = make_rng(spec.weight_seed if rng is None else rng)
+    pattern = generate_sparse_pattern(spec.rows, spec.cols, spec.weight_density, rng)
+    weights = np.zeros((spec.rows, spec.cols), dtype=np.float64)
+    columns = np.repeat(np.arange(spec.cols), pattern.column_nnz())
+    weights[pattern.row_indices, columns] = rng.normal(0.0, scale, size=pattern.nnz)
+    # Guarantee the matrix is not all-zero even at tiny sizes/densities.
+    if not np.count_nonzero(weights):
+        weights[0, 0] = scale
+    return weights

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+Everything uses small matrices and few PEs so the whole suite runs in
+seconds; the full-size Table III layers are exercised only by the benchmark
+harness in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionConfig, DeepCompressor
+from repro.core import EIEConfig
+from repro.workloads import LayerSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> EIEConfig:
+    """A 4-PE accelerator configuration used throughout the unit tests."""
+    return EIEConfig(num_pes=4, fifo_depth=8)
+
+
+@pytest.fixture
+def sparse_weights(rng: np.random.Generator) -> np.ndarray:
+    """A 48 x 40 weight matrix with ~15% density."""
+    weights = rng.normal(0.0, 1.0, size=(48, 40))
+    mask = rng.random((48, 40)) < 0.15
+    weights = np.where(mask, weights, 0.0)
+    weights[0, 0] = 0.5  # guarantee at least one non-zero
+    return weights
+
+
+@pytest.fixture
+def compressed_layer(sparse_weights: np.ndarray, small_config: EIEConfig):
+    """The sparse_weights fixture run through the Deep Compression pipeline."""
+    compressor = DeepCompressor(CompressionConfig())
+    return compressor.compress(sparse_weights, num_pes=small_config.num_pes, name="test-layer")
+
+
+@pytest.fixture
+def dense_activations(rng: np.random.Generator) -> np.ndarray:
+    """A 40-long activation vector with ~40% non-zeros (post-ReLU style)."""
+    values = rng.uniform(0.1, 1.0, size=40)
+    mask = rng.random(40) < 0.4
+    activations = np.where(mask, values, 0.0)
+    activations[3] = 0.7  # guarantee at least one non-zero
+    return activations
+
+
+@pytest.fixture
+def tiny_spec() -> LayerSpec:
+    """A small benchmark-like layer spec for workload-builder tests."""
+    return LayerSpec(
+        name="tiny",
+        input_size=96,
+        output_size=64,
+        weight_density=0.12,
+        activation_density=0.4,
+        description="unit-test layer",
+        seed=7,
+    )

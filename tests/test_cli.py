@@ -1,0 +1,67 @@
+"""Tests for the command-line interface (static tables and cheap ablations only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_command(self):
+        args = build_parser().parse_args(["table", "1"])
+        assert args.command == "table" and args.number == 1
+
+    def test_figure_command_with_options(self):
+        args = build_parser().parse_args(
+            ["figure", "8", "--pes", "16", "--benchmarks", "Alex-6", "NT-We"]
+        )
+        assert args.command == "figure"
+        assert args.number == 8
+        assert args.pes == 16
+        assert args.benchmarks == ["Alex-6", "NT-We"]
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+    def test_invalid_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "1", "--benchmarks", "Alex-99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestStaticCommands:
+    """Commands that do not build full-size workloads (fast enough for unit tests)."""
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM" in out and "640" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "spmat_read" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["table", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Alex-6" in out and "NT-LSTM" in out
+
+    def test_summary(self, capsys):
+        assert main(["summary", "--pes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Peak GOP/s" in out
+        assert "64" in out
+
+    def test_figure10(self, capsys):
+        assert main(["figure", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "int16" in out and "int8" in out
+
+    def test_codebook_ablation(self, capsys):
+        assert main(["ablation", "codebook-bits"]) == 0
+        assert "RMS error" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Tests for the Huffman coder used for storage accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.huffman import HuffmanCode
+from repro.errors import CompressionError
+
+
+class TestConstruction:
+    def test_single_symbol(self):
+        code = HuffmanCode.from_symbols([5, 5, 5])
+        assert code.code_length(5) == 1
+
+    def test_two_symbols_one_bit_each(self):
+        code = HuffmanCode.from_symbols([0, 0, 1])
+        assert code.code_length(0) == 1
+        assert code.code_length(1) == 1
+
+    def test_skewed_distribution_gives_short_codes_to_common_symbols(self):
+        symbols = [0] * 100 + [1] * 10 + [2] * 5 + [3] * 1
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.code_length(0) < code.code_length(3)
+
+    def test_deterministic(self):
+        symbols = [0, 1, 1, 2, 2, 2, 3]
+        first = HuffmanCode.from_symbols(symbols).codebook
+        second = HuffmanCode.from_symbols(symbols).codebook
+        assert first == second
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            HuffmanCode.from_symbols([])
+        with pytest.raises(CompressionError):
+            HuffmanCode.from_frequencies({})
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(CompressionError):
+            HuffmanCode.from_frequencies({0: 0})
+
+
+class TestPrefixProperty:
+    def test_no_code_is_a_prefix_of_another(self, rng):
+        symbols = rng.integers(0, 16, size=500).tolist()
+        code = HuffmanCode.from_symbols(symbols)
+        codes = list(code.codebook.values())
+        for index, first in enumerate(codes):
+            for second in codes[index + 1:]:
+                assert not first.startswith(second)
+                assert not second.startswith(first)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self, rng):
+        symbols = rng.integers(0, 8, size=200).tolist()
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.decode(code.encode(symbols)) == symbols
+
+    def test_encoded_bits_matches_encode_length(self, rng):
+        symbols = rng.integers(0, 8, size=300).tolist()
+        code = HuffmanCode.from_symbols(symbols)
+        assert code.encoded_bits(symbols) == len(code.encode(symbols))
+
+    def test_unknown_symbol_rejected(self):
+        code = HuffmanCode.from_symbols([0, 1, 1])
+        with pytest.raises(CompressionError):
+            code.encode([2])
+
+    def test_invalid_bitstream_rejected(self):
+        code = HuffmanCode.from_symbols([0, 1, 1, 2])
+        with pytest.raises(CompressionError):
+            code.decode("01x")
+
+    def test_truncated_stream_rejected(self):
+        code = HuffmanCode.from_symbols([0] * 5 + [1] * 3 + [2])
+        longest = max(code.codebook.values(), key=len)
+        with pytest.raises(CompressionError):
+            code.decode(longest[:-1]) if len(longest) > 1 else None
+        if len(longest) <= 1:
+            pytest.skip("all codes are one bit; truncation cannot be mid-symbol")
+
+
+class TestCompressionQuality:
+    def test_average_bits_below_fixed_width_for_skewed_data(self, rng):
+        # 4-bit symbols with a geometric-ish distribution compress below 4 bits.
+        symbols = np.minimum(rng.geometric(0.5, size=2000) - 1, 15).tolist()
+        code = HuffmanCode.from_symbols(symbols)
+        frequencies = {symbol: symbols.count(symbol) for symbol in set(symbols)}
+        assert code.average_bits(frequencies) < 4.0
+
+    def test_average_bits_at_least_entropy_bound(self, rng):
+        symbols = rng.integers(0, 4, size=1000).tolist()
+        code = HuffmanCode.from_symbols(symbols)
+        frequencies = {symbol: symbols.count(symbol) for symbol in set(symbols)}
+        total = sum(frequencies.values())
+        probabilities = np.array([count / total for count in frequencies.values()])
+        entropy = -np.sum(probabilities * np.log2(probabilities))
+        assert code.average_bits(frequencies) >= entropy - 1e-9

@@ -1,0 +1,102 @@
+"""Tests for the end-to-end Deep Compression pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.pipeline import CompressedLayer, CompressionConfig, DeepCompressor
+from repro.errors import CompressionError
+
+
+class TestCompressionConfig:
+    def test_defaults(self):
+        config = CompressionConfig()
+        assert config.index_bits == 4
+        assert config.max_run == 15
+        assert config.target_density is None
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(CompressionError):
+            CompressionConfig(target_density=0.0)
+        with pytest.raises(CompressionError):
+            CompressionConfig(target_density=1.2)
+
+    def test_max_run_bounded_by_index_bits(self):
+        with pytest.raises(CompressionError):
+            CompressionConfig(index_bits=4, max_run=16)
+
+
+class TestDeepCompressor:
+    def test_reconstruction_error_is_bounded(self, sparse_weights):
+        layer = DeepCompressor().compress(sparse_weights, num_pes=4)
+        reconstructed = layer.dense_weights()
+        nonzero = sparse_weights != 0.0
+        # Zero positions stay exactly zero; non-zeros only move to the nearest centroid.
+        assert np.all(reconstructed[~nonzero] == 0.0)
+        error = np.abs(reconstructed[nonzero] - sparse_weights[nonzero])
+        spread = sparse_weights[nonzero].max() - sparse_weights[nonzero].min()
+        assert error.max() <= spread / 2
+
+    def test_sparsity_pattern_preserved_without_pruning(self, sparse_weights):
+        layer = DeepCompressor().compress(sparse_weights, num_pes=4)
+        reconstructed = layer.dense_weights()
+        # Every surviving weight decodes to a non-zero unless k-means snapped it to 0.
+        assert np.count_nonzero(reconstructed) <= np.count_nonzero(sparse_weights)
+        assert np.count_nonzero(reconstructed) >= 0.9 * np.count_nonzero(sparse_weights)
+
+    def test_target_density_pruning(self, rng):
+        dense = rng.normal(size=(64, 48))
+        compressor = DeepCompressor(CompressionConfig(target_density=0.1))
+        layer = compressor.compress(dense, num_pes=4)
+        assert layer.weight_density == pytest.approx(0.1, abs=0.03)
+
+    def test_reference_matvec_matches_dense_weights(self, compressed_layer, dense_activations):
+        expected = compressed_layer.dense_weights() @ dense_activations
+        assert np.allclose(compressed_layer.reference_matvec(dense_activations), expected)
+
+    def test_all_zero_matrix_rejected(self):
+        with pytest.raises(CompressionError):
+            DeepCompressor().compress(np.zeros((8, 8)), num_pes=2)
+
+    def test_invalid_num_pes_rejected(self, sparse_weights):
+        with pytest.raises(CompressionError):
+            DeepCompressor().compress(sparse_weights, num_pes=0)
+
+
+class TestCompressedLayer:
+    def test_shape_properties(self, compressed_layer, sparse_weights):
+        assert compressed_layer.shape == sparse_weights.shape
+        assert compressed_layer.rows == sparse_weights.shape[0]
+        assert compressed_layer.cols == sparse_weights.shape[1]
+        assert compressed_layer.dense_weight_count == sparse_weights.size
+
+    def test_weight_density_close_to_input(self, compressed_layer, sparse_weights):
+        input_density = np.count_nonzero(sparse_weights) / sparse_weights.size
+        assert compressed_layer.weight_density == pytest.approx(input_density, rel=0.15)
+
+    def test_compression_ratio_substantial(self, compressed_layer):
+        # 4-bit indices + 4-bit runs versus 32-bit floats at ~15% density.
+        assert compressed_layer.compression_ratio() > 5.0
+
+    def test_storage_report_keys_and_consistency(self, compressed_layer):
+        report = compressed_layer.storage_report()
+        assert report["compressed_bits"] < report["dense_bits"]
+        assert report["huffman_bits"] <= report["compressed_bits"] * 1.1
+        assert report["compression_ratio"] > 1.0
+        assert 0.0 <= report["padding_fraction"] < 1.0
+
+    def test_huffman_never_worse_than_fixed_width_streams(self, compressed_layer):
+        # Huffman coding the index/run streams cannot exceed 8 bits per entry
+        # by more than the codebook/pointer overhead already counted.
+        assert compressed_layer.huffman_storage_bits() <= compressed_layer.storage_bits()
+
+    def test_mismatched_storage_rejected(self, compressed_layer):
+        with pytest.raises(CompressionError):
+            CompressedLayer(
+                name="broken",
+                shape=(compressed_layer.rows + 1, compressed_layer.cols),
+                codebook=compressed_layer.codebook,
+                storage=compressed_layer.storage,
+                num_pes=compressed_layer.num_pes,
+            )

@@ -1,0 +1,71 @@
+"""Tests for magnitude pruning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.compression.pruning import prune_by_threshold, prune_to_density
+
+
+class TestPruneByThreshold:
+    def test_removes_small_weights(self):
+        weights = np.array([[0.1, -0.5], [0.9, -0.05]])
+        result = prune_by_threshold(weights, 0.2)
+        assert result.weights[0, 0] == 0.0
+        assert result.weights[1, 1] == 0.0
+        assert result.weights[0, 1] == -0.5
+        assert result.weights[1, 0] == 0.9
+
+    def test_mask_matches_weights(self, sparse_weights):
+        result = prune_by_threshold(sparse_weights, 0.3)
+        assert np.array_equal(result.mask, result.weights != 0.0)
+
+    def test_zero_threshold_keeps_everything_nonzero(self, sparse_weights):
+        result = prune_by_threshold(sparse_weights, 0.0)
+        assert result.num_nonzero == np.count_nonzero(sparse_weights)
+
+    def test_negative_threshold_rejected(self, sparse_weights):
+        with pytest.raises(CompressionError):
+            prune_by_threshold(sparse_weights, -0.1)
+
+    def test_does_not_modify_input(self, sparse_weights):
+        original = sparse_weights.copy()
+        prune_by_threshold(sparse_weights, 0.5)
+        assert np.array_equal(sparse_weights, original)
+
+
+class TestPruneToDensity:
+    @pytest.mark.parametrize("density", [0.05, 0.1, 0.25, 0.5])
+    def test_achieves_requested_density(self, rng, density):
+        weights = rng.normal(size=(64, 64))
+        result = prune_to_density(weights, density)
+        assert result.density == pytest.approx(density, abs=0.02)
+
+    def test_keeps_largest_magnitudes(self, rng):
+        weights = rng.normal(size=(32, 32))
+        result = prune_to_density(weights, 0.1)
+        kept = np.abs(weights[result.mask])
+        dropped = np.abs(weights[~result.mask])
+        assert kept.min() >= dropped.max() - 1e-12
+
+    def test_density_one_keeps_existing_pattern(self, sparse_weights):
+        result = prune_to_density(sparse_weights, 1.0)
+        assert result.num_nonzero == np.count_nonzero(sparse_weights)
+
+    def test_handles_ties(self):
+        weights = np.ones((10, 10))
+        result = prune_to_density(weights, 0.25)
+        assert result.density == pytest.approx(0.25, abs=0.01)
+
+    def test_invalid_density_rejected(self, sparse_weights):
+        with pytest.raises(Exception):
+            prune_to_density(sparse_weights, 0.0)
+        with pytest.raises(Exception):
+            prune_to_density(sparse_weights, 1.5)
+
+    def test_compression_ratio(self, rng):
+        weights = rng.normal(size=(40, 40))
+        result = prune_to_density(weights, 0.1)
+        assert result.compression_from_pruning == pytest.approx(10.0, rel=0.15)

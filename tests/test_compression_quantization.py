@@ -1,0 +1,109 @@
+"""Tests for k-means weight sharing and the codebook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.compression.quantization import WeightCodebook, kmeans_codebook
+
+
+class TestKMeansCodebook:
+    def test_centroids_sorted_and_count(self, rng):
+        values = rng.normal(size=500)
+        centroids = kmeans_codebook(values, 15, rng=rng)
+        assert centroids.shape == (15,)
+        assert np.all(np.diff(centroids) >= 0)
+
+    def test_centroids_within_data_range(self, rng):
+        values = rng.normal(size=300)
+        centroids = kmeans_codebook(values, 8, rng=rng)
+        assert centroids.min() >= values.min() - 1e-9
+        assert centroids.max() <= values.max() + 1e-9
+
+    def test_fewer_unique_values_than_clusters(self):
+        centroids = kmeans_codebook(np.array([1.0, 2.0, 1.0]), 5)
+        assert centroids.shape == (5,)
+        assert {1.0, 2.0}.issubset(set(np.round(centroids, 9).tolist()))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(CompressionError):
+            kmeans_codebook(np.array([]), 4)
+
+    def test_bad_cluster_count_rejected(self, rng):
+        with pytest.raises(CompressionError):
+            kmeans_codebook(rng.normal(size=10), 0)
+
+    def test_random_init_supported(self, rng):
+        centroids = kmeans_codebook(rng.normal(size=200), 8, rng=rng, init="random")
+        assert centroids.shape == (8,)
+
+    def test_unknown_init_rejected(self, rng):
+        with pytest.raises(CompressionError):
+            kmeans_codebook(rng.normal(size=200), 8, rng=rng, init="plusplus")
+
+    def test_reduces_quantization_error_vs_linear_grid(self, rng):
+        # k-means should do no worse than the linear initialisation it starts from.
+        values = np.concatenate([rng.normal(-1, 0.05, 300), rng.normal(2, 0.05, 300)])
+        centroids = kmeans_codebook(values, 4, rng=rng)
+        linear = np.linspace(values.min(), values.max(), 4)
+
+        def rms(points):
+            assignments = np.argmin(np.abs(values[:, None] - points[None, :]), axis=1)
+            return np.sqrt(np.mean((values - points[assignments]) ** 2))
+
+        assert rms(centroids) <= rms(linear) + 1e-9
+
+
+class TestWeightCodebook:
+    def test_fit_reserves_zero_entry(self, rng):
+        codebook = WeightCodebook.fit(rng.normal(size=200), index_bits=4, rng=rng)
+        assert codebook.centroids[0] == 0.0
+        assert codebook.size == 16
+        assert codebook.zero_index == 0
+
+    def test_quantize_maps_zero_to_zero_index(self, rng):
+        codebook = WeightCodebook.fit(rng.normal(size=200), rng=rng)
+        values = np.array([0.0, 0.5, -0.5, 0.0])
+        indices = codebook.quantize(values)
+        assert indices[0] == 0 and indices[3] == 0
+
+    def test_dequantize_roundtrip_error_small(self, rng):
+        values = rng.normal(size=500)
+        codebook = WeightCodebook.fit(values, rng=rng)
+        reconstructed = codebook.dequantize(codebook.quantize(values))
+        rms = np.sqrt(np.mean((reconstructed - values) ** 2))
+        assert rms < np.std(values) * 0.25
+
+    def test_quantization_error_method(self, rng):
+        values = rng.normal(size=300)
+        codebook = WeightCodebook.fit(values, rng=rng)
+        assert codebook.quantization_error(values) >= 0.0
+        assert codebook.quantization_error(codebook.centroids) == pytest.approx(0.0, abs=1e-12)
+
+    def test_out_of_range_indices_rejected(self, rng):
+        codebook = WeightCodebook.fit(rng.normal(size=100), rng=rng)
+        with pytest.raises(CompressionError):
+            codebook.dequantize(np.array([99]))
+
+    def test_too_many_centroids_rejected(self):
+        with pytest.raises(CompressionError):
+            WeightCodebook(centroids=np.concatenate([[0.0], np.arange(1, 20)]), index_bits=4)
+
+    def test_missing_zero_entry_rejected(self):
+        with pytest.raises(CompressionError):
+            WeightCodebook(centroids=np.array([0.5, 1.0]), index_bits=4)
+
+    def test_storage_bits(self, rng):
+        codebook = WeightCodebook.fit(rng.normal(size=100), index_bits=4, rng=rng)
+        assert codebook.storage_bits == 16 * 16
+
+    def test_all_zero_values_rejected(self):
+        with pytest.raises(CompressionError):
+            WeightCodebook.fit(np.zeros(10))
+
+    def test_quantize_preserves_shape(self, rng):
+        codebook = WeightCodebook.fit(rng.normal(size=100), rng=rng)
+        matrix = rng.normal(size=(6, 5))
+        assert codebook.quantize(matrix).shape == (6, 5)

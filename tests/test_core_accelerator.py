@@ -1,0 +1,112 @@
+"""Tests for the EIEAccelerator facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accelerator import EIEAccelerator
+from repro.core.config import EIEConfig
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def accelerator(small_config) -> EIEAccelerator:
+    return EIEAccelerator(small_config)
+
+
+def _random_sparse(rng, shape, density=0.15):
+    weights = rng.normal(size=shape)
+    weights[rng.random(shape) >= density] = 0.0
+    weights[0, 0] = 0.5
+    return weights
+
+
+class TestLoading:
+    def test_compress_and_load_returns_layer(self, accelerator, sparse_weights):
+        layer = accelerator.compress_and_load(sparse_weights, name="fc1")
+        assert layer.name == "fc1"
+        assert layer.num_pes == accelerator.config.num_pes
+        assert accelerator.layers == [layer]
+
+    def test_chained_layers_must_match_shapes(self, accelerator, rng):
+        accelerator.compress_and_load(_random_sparse(rng, (24, 40)), name="fc1")
+        with pytest.raises(SimulationError):
+            accelerator.compress_and_load(_random_sparse(rng, (8, 30)), name="fc2")
+
+    def test_load_rejects_wrong_pe_count(self, accelerator, sparse_weights):
+        other = EIEAccelerator(EIEConfig(num_pes=8))
+        layer = other.compressor.compress(sparse_weights, num_pes=8)
+        with pytest.raises(SimulationError):
+            accelerator.load_compressed_layer(layer)
+
+    def test_capacity_enforced(self, sparse_weights):
+        tiny = EIEAccelerator(EIEConfig(num_pes=4, spmat_sram_kb=0.001))
+        with pytest.raises(SimulationError):
+            tiny.compress_and_load(sparse_weights)
+
+    def test_clear(self, accelerator, sparse_weights):
+        accelerator.compress_and_load(sparse_weights)
+        accelerator.clear()
+        assert accelerator.layers == []
+
+
+class TestExecution:
+    def test_single_layer_run_matches_reference(self, accelerator, sparse_weights, dense_activations):
+        layer = accelerator.compress_and_load(sparse_weights, name="fc")
+        results = accelerator.run(dense_activations)
+        expected = np.maximum(layer.dense_weights() @ dense_activations, 0.0)
+        assert np.allclose(results[-1].output, expected)
+
+    def test_multi_layer_feed_forward(self, accelerator, rng):
+        first = _random_sparse(rng, (24, 40))
+        second = _random_sparse(rng, (12, 24))
+        layer1 = accelerator.compress_and_load(first, name="fc1")
+        layer2 = accelerator.compress_and_load(second, name="fc2", activation_name="identity")
+        inputs = rng.uniform(0, 1, size=40)
+        results = accelerator.run(inputs)
+        hidden = np.maximum(layer1.dense_weights() @ inputs, 0.0)
+        expected = layer2.dense_weights() @ hidden
+        assert len(results) == 2
+        assert np.allclose(results[-1].output, expected)
+
+    def test_run_without_layers_rejected(self, accelerator, dense_activations):
+        with pytest.raises(SimulationError):
+            accelerator.run(dense_activations)
+
+    def test_run_layer_index_checked(self, accelerator, sparse_weights, dense_activations):
+        accelerator.compress_and_load(sparse_weights)
+        with pytest.raises(SimulationError):
+            accelerator.run_layer(3, dense_activations)
+
+
+class TestEstimation:
+    def test_estimate_layer_consistency(self, accelerator, sparse_weights, dense_activations):
+        layer = accelerator.compress_and_load(sparse_weights, name="fc")
+        estimate = accelerator.estimate_layer(layer, dense_activations)
+        assert estimate.layer_name == "fc"
+        assert estimate.cycles.total_cycles > 0
+        assert estimate.performance.time_s == pytest.approx(estimate.cycles.time_s)
+        assert estimate.energy.energy_j > 0
+        assert estimate.functional is not None
+        assert estimate.cycles.entries_processed == estimate.functional.total_entries_processed
+
+    def test_estimate_without_functional_run(self, accelerator, sparse_weights, dense_activations):
+        layer = accelerator.compress_and_load(sparse_weights, name="fc")
+        estimate = accelerator.estimate_layer(layer, dense_activations, run_functional=False)
+        assert estimate.functional is None
+        assert estimate.energy.energy_j == pytest.approx(
+            accelerator.chip_power_w * estimate.cycles.time_s
+        )
+
+    def test_chip_power_and_area_scale_with_pes(self, sparse_weights):
+        small = EIEAccelerator(EIEConfig(num_pes=4))
+        large = EIEAccelerator(EIEConfig(num_pes=64))
+        assert large.chip_power_w > small.chip_power_w
+        assert large.chip_area_mm2 > small.chip_area_mm2
+
+    def test_energy_breakdown_components(self, accelerator, sparse_weights, dense_activations):
+        layer = accelerator.compress_and_load(sparse_weights, name="fc")
+        estimate = accelerator.estimate_layer(layer, dense_activations)
+        if estimate.energy.breakdown:
+            assert set(estimate.energy.breakdown) >= {"spmat_sram", "arithmetic"}

@@ -1,0 +1,71 @@
+"""Tests for the per-PE activation FIFO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activation_queue import ActivationQueue, QueueEntry
+from repro.errors import SimulationError
+
+
+class TestActivationQueue:
+    def test_fifo_order(self):
+        queue = ActivationQueue(depth=4)
+        for column in range(3):
+            queue.push(QueueEntry(column=column, value=float(column)))
+        assert [queue.pop().column for _ in range(3)] == [0, 1, 2]
+
+    def test_peek_does_not_remove(self):
+        queue = ActivationQueue(depth=2)
+        queue.push(QueueEntry(column=7, value=1.0))
+        assert queue.peek().column == 7
+        assert len(queue) == 1
+
+    def test_full_and_empty_flags(self):
+        queue = ActivationQueue(depth=2)
+        assert queue.is_empty and not queue.is_full
+        queue.push(QueueEntry(0, 1.0))
+        queue.push(QueueEntry(1, 1.0))
+        assert queue.is_full and not queue.is_empty
+
+    def test_push_to_full_queue_raises_and_counts_stall(self):
+        queue = ActivationQueue(depth=1)
+        queue.push(QueueEntry(0, 1.0))
+        with pytest.raises(SimulationError):
+            queue.push(QueueEntry(1, 1.0))
+        assert queue.full_stalls == 1
+
+    def test_try_push_reports_failure(self):
+        queue = ActivationQueue(depth=1)
+        assert queue.try_push(QueueEntry(0, 1.0))
+        assert not queue.try_push(QueueEntry(1, 1.0))
+        assert queue.full_stalls == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ActivationQueue(depth=1).pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            ActivationQueue(depth=1).peek()
+
+    def test_statistics(self):
+        queue = ActivationQueue(depth=4)
+        for column in range(4):
+            queue.push(QueueEntry(column, 1.0))
+        for _ in range(2):
+            queue.pop()
+        assert queue.total_pushes == 4
+        assert queue.total_pops == 2
+        assert queue.occupancy == 2
+
+    def test_clear(self):
+        queue = ActivationQueue(depth=2)
+        queue.push(QueueEntry(0, 1.0))
+        queue.clear()
+        assert queue.is_empty
+        assert queue.total_pushes == 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(SimulationError):
+            ActivationQueue(depth=0)

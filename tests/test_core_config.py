@@ -1,0 +1,82 @@
+"""Tests for EIEConfig and its derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EIEConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_design_point(self):
+        config = EIEConfig()
+        assert config.num_pes == 64
+        assert config.fifo_depth == 8
+        assert config.clock_mhz == 800.0
+        assert config.weight_bits == 4
+        assert config.spmat_sram_width_bits == 64
+
+    def test_entries_per_spmat_read_is_eight(self):
+        assert EIEConfig().entries_per_spmat_read == 8
+
+    def test_weights_per_pe_capacity_is_131k(self):
+        # 128 KB at 8 bits per entry = 131072 entries ("131K weights" in the paper).
+        assert EIEConfig().weights_per_pe_capacity == 131072
+
+    def test_dense_equivalent_capacity(self):
+        # ~1.2M dense-equivalent weights per PE at 10% density.
+        assert EIEConfig().dense_weight_capacity == pytest.approx(1.3e6, rel=0.1)
+
+    def test_peak_gops_around_102(self):
+        assert EIEConfig().peak_gops == pytest.approx(102.4, rel=0.01)
+
+    def test_max_run_and_codebook(self):
+        config = EIEConfig()
+        assert config.max_run == 15
+        assert config.codebook_entries == 16
+
+    def test_activation_capacity_covers_4k(self):
+        assert EIEConfig().activation_capacity == 4096
+
+    def test_cycle_time(self):
+        assert EIEConfig().cycle_time_ns == pytest.approx(1.25)
+
+
+class TestValidation:
+    def test_invalid_pe_count(self):
+        with pytest.raises(ConfigurationError):
+            EIEConfig(num_pes=0)
+
+    def test_invalid_fifo_depth(self):
+        with pytest.raises(ConfigurationError):
+            EIEConfig(fifo_depth=0)
+
+    def test_sram_width_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            EIEConfig(spmat_sram_width_bits=48)
+
+    def test_sram_width_must_hold_an_entry(self):
+        with pytest.raises(ConfigurationError):
+            EIEConfig(spmat_sram_width_bits=4, weight_bits=4, index_bits=4)
+
+
+class TestCopies:
+    def test_with_pes(self):
+        config = EIEConfig().with_pes(256)
+        assert config.num_pes == 256
+        assert config.fifo_depth == 8
+
+    def test_with_fifo_depth(self):
+        assert EIEConfig().with_fifo_depth(32).fifo_depth == 32
+
+    def test_with_spmat_width(self):
+        config = EIEConfig().with_spmat_width(128)
+        assert config.spmat_sram_width_bits == 128
+        assert config.entries_per_spmat_read == 16
+
+    def test_sram_bank_configs(self):
+        config = EIEConfig()
+        assert config.spmat_sram().capacity_kb == 128
+        assert config.ptr_sram().capacity_kb == 16
+        assert config.act_sram().capacity_kb == 2

@@ -1,0 +1,76 @@
+"""Tests for the leading non-zero detection quadtree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lnzd import LNZDTree
+from repro.errors import SimulationError
+from repro.hardware.area import num_lnzd_units
+
+
+class TestTreeStructure:
+    def test_node_count_matches_area_model(self):
+        for num_pes in (1, 4, 16, 64, 256):
+            assert LNZDTree(num_pes).num_nodes == num_lnzd_units(num_pes)
+
+    def test_64_pe_tree_has_three_levels(self):
+        tree = LNZDTree(64)
+        assert tree.depth == 3
+        assert [len(level) for level in tree.levels] == [16, 4, 1]
+
+    def test_root_covers_all_pes(self):
+        tree = LNZDTree(64)
+        assert tree.root.pe_range == (0, 64)
+
+    def test_leaves_cover_four_pes_each(self):
+        tree = LNZDTree(16)
+        leaves = tree.levels[0]
+        assert all(node.pe_range[1] - node.pe_range[0] == 4 for node in leaves)
+
+    def test_non_power_of_four_pe_count(self):
+        tree = LNZDTree(6)
+        assert tree.root.pe_range == (0, 6)
+        assert tree.num_nodes >= 2
+
+    def test_invalid_pe_count_rejected(self):
+        with pytest.raises(SimulationError):
+            LNZDTree(0)
+
+    def test_nodes_listing(self):
+        tree = LNZDTree(16)
+        assert len(tree.nodes()) == tree.num_nodes
+        assert tree.nodes()[0].is_leaf
+
+
+class TestScanNonzeros:
+    def test_only_nonzeros_in_order(self):
+        tree = LNZDTree(4)
+        activations = np.array([0.0, 1.5, 0.0, -2.0, 0.0, 3.0])
+        scan = tree.scan_nonzeros(activations)
+        assert scan == [(1, 1.5), (3, -2.0), (5, 3.0)]
+
+    def test_all_zero_vector(self):
+        assert LNZDTree(4).scan_nonzeros(np.zeros(8)) == []
+
+    def test_dense_vector_broadcasts_everything(self):
+        activations = np.arange(1.0, 9.0)
+        assert len(LNZDTree(4).scan_nonzeros(activations)) == 8
+
+    def test_pe_for_activation_is_modulo(self):
+        tree = LNZDTree(8)
+        assert tree.pe_for_activation(0) == 0
+        assert tree.pe_for_activation(9) == 1
+        with pytest.raises(SimulationError):
+            tree.pe_for_activation(-1)
+
+    def test_count_nonzeros_per_group(self):
+        tree = LNZDTree(8)
+        activations = np.zeros(16)
+        activations[0] = 1.0   # PE 0 -> group 0
+        activations[4] = 1.0   # PE 4 -> group 1
+        activations[12] = 1.0  # PE 4 -> group 1
+        counts = tree.count_nonzeros_per_group(activations)
+        assert counts.tolist() == [1, 2]
+        assert counts.sum() == np.count_nonzero(activations)

@@ -1,0 +1,111 @@
+"""Tests for the Section VII-A workload-partitioning strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import (
+    STRATEGY_NAMES,
+    compare_strategies,
+    simulate_block_2d,
+    simulate_column_partitioned,
+    simulate_row_interleaved,
+)
+from repro.errors import SimulationError
+from repro.workloads.synthetic import generate_activations, generate_sparse_pattern
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return generate_sparse_pattern(256, 192, density=0.1, rng=11)
+
+
+@pytest.fixture(scope="module")
+def activations(pattern):
+    return generate_activations(pattern.cols, density=0.35, rng=12)
+
+
+class TestWorkConservation:
+    def test_row_and_column_strategies_do_the_same_total_work(self, pattern, activations):
+        # Without padding zeros all strategies perform one MAC per non-zero
+        # weight in a touched column; row interleaving adds only padding.
+        column = simulate_column_partitioned(pattern, activations, num_pes=8)
+        block = simulate_block_2d(pattern, activations, num_pes=8)
+        row = simulate_row_interleaved(pattern, activations, num_pes=8, max_run=10**6)
+        assert column.total_work == block.total_work == row.total_work
+
+    def test_row_interleaved_padding_only_adds_work(self, pattern, activations):
+        padded = simulate_row_interleaved(pattern, activations, num_pes=8, max_run=15)
+        unpadded = simulate_row_interleaved(pattern, activations, num_pes=8, max_run=10**6)
+        assert padded.total_work >= unpadded.total_work
+
+
+class TestQualitativeConclusions:
+    """The reasons the paper gives for choosing row interleaving."""
+
+    def test_column_partitioning_idles_pes_under_activation_sparsity(self, pattern):
+        # With very sparse activations many column-owners have nothing to do.
+        sparse_activations = generate_activations(pattern.cols, density=0.05, rng=3)
+        column = simulate_column_partitioned(pattern, sparse_activations, num_pes=32)
+        row = simulate_row_interleaved(pattern, sparse_activations, num_pes=32)
+        assert column.idle_pes > 0
+        assert row.idle_pes == 0
+
+    def test_row_interleaving_needs_no_reduction(self, pattern, activations):
+        row = simulate_row_interleaved(pattern, activations, num_pes=16)
+        column = simulate_column_partitioned(pattern, activations, num_pes=16)
+        assert row.reduction_words == 0
+        assert column.reduction_words > 0
+        assert column.communication_cycles > 0
+
+    def test_column_partitioning_needs_no_broadcast(self, pattern, activations):
+        column = simulate_column_partitioned(pattern, activations, num_pes=16)
+        assert column.broadcast_words == 0
+
+    def test_row_interleaving_has_best_load_balance(self, pattern, activations):
+        results = compare_strategies(pattern, activations, num_pes=16)
+        row = results["row-interleaved"]
+        assert row.load_balance_efficiency >= results["column"].load_balance_efficiency
+        assert row.load_balance_efficiency > 0.7
+
+    def test_row_interleaving_fastest_on_this_workload(self, pattern, activations):
+        results = compare_strategies(pattern, activations, num_pes=16)
+        assert results["row-interleaved"].total_cycles <= results["column"].total_cycles
+
+    def test_block_2d_shrinks_both_collectives(self, pattern, activations):
+        row = simulate_row_interleaved(pattern, activations, num_pes=16)
+        column = simulate_column_partitioned(pattern, activations, num_pes=16)
+        block = simulate_block_2d(pattern, activations, num_pes=16)
+        assert 0 < block.broadcast_words < row.broadcast_words
+        assert 0 < block.reduction_words < column.reduction_words
+
+
+class TestInterfaces:
+    def test_compare_covers_all_strategies(self, pattern, activations):
+        results = compare_strategies(pattern, activations, num_pes=4)
+        assert set(results) == set(STRATEGY_NAMES)
+        for name, result in results.items():
+            assert result.strategy == name
+            assert result.total_cycles >= result.compute_cycles
+            assert 0.0 < result.load_balance_efficiency <= 1.0
+
+    def test_single_pe_degenerates_gracefully(self, pattern, activations):
+        for simulate in (simulate_column_partitioned, simulate_row_interleaved, simulate_block_2d):
+            result = simulate(pattern, activations, 1)
+            assert result.communication_cycles == 0 or result.strategy == "column"
+            assert result.per_pe_work.shape == (1,)
+
+    def test_explicit_grid(self, pattern, activations):
+        result = simulate_block_2d(pattern, activations, num_pes=8, grid=(2, 4))
+        assert result.per_pe_work.shape == (8,)
+        with pytest.raises(SimulationError):
+            simulate_block_2d(pattern, activations, num_pes=8, grid=(3, 3))
+
+    def test_activation_length_checked(self, pattern):
+        with pytest.raises(SimulationError):
+            simulate_row_interleaved(pattern, np.zeros(pattern.cols + 1), num_pes=4)
+
+    def test_invalid_pe_count_rejected(self, pattern, activations):
+        with pytest.raises(SimulationError):
+            simulate_column_partitioned(pattern, activations, num_pes=0)

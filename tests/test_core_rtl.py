@@ -1,0 +1,130 @@
+"""Tests for the two-phase RTL kernel and the single-PE RTL model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.csc import CSCMatrix
+from repro.core.activation_queue import QueueEntry
+from repro.core.pe import ProcessingElement
+from repro.core.rtl.kernel import Module, Register, Simulator, Wire
+from repro.core.rtl.pe_rtl import run_pe_rtl
+from repro.errors import SimulationError
+
+
+class _Counter(Module):
+    """A module that increments a register every cycle."""
+
+    def __init__(self):
+        super().__init__("counter")
+        self.count = self.add_register("count", 0)
+
+    def propagate(self):
+        self.count.write(self.count.read() + 1)
+
+
+class _Follower(Module):
+    """Drives a wire from a counter register (combinational)."""
+
+    def __init__(self, counter: _Counter):
+        super().__init__("follower")
+        self.counter = counter
+        self.double = Wire("double", 0)
+
+    def propagate(self):
+        self.double.drive(self.counter.count.read() * 2)
+
+
+class TestKernel:
+    def test_register_latches_on_tick(self):
+        register = Register("r", 0)
+        register.write(5)
+        assert register.read() == 0
+        register.tick()
+        assert register.read() == 5
+
+    def test_counter_advances_once_per_cycle(self):
+        counter = _Counter()
+        simulator = Simulator(modules=[counter])
+        simulator.run(cycles=5)
+        assert counter.count.read() == 5
+        assert simulator.cycle == 5
+
+    def test_combinational_wire_follows_register(self):
+        counter = _Counter()
+        follower = _Follower(counter)
+        simulator = Simulator(modules=[follower, counter])  # order must not matter
+        simulator.run(cycles=3)
+        assert follower.double.value == 2 * (counter.count.read() - 1) or follower.double.value == 2 * counter.count.read()
+
+    def test_run_until_predicate(self):
+        counter = _Counter()
+        simulator = Simulator(modules=[counter])
+        executed = simulator.run(until=lambda: counter.count.read() >= 4)
+        assert counter.count.read() >= 4
+        assert executed >= 4
+
+    def test_run_requires_condition(self):
+        with pytest.raises(SimulationError):
+            Simulator(modules=[_Counter()]).run()
+
+    def test_runaway_simulation_detected(self):
+        counter = _Counter()
+        simulator = Simulator(modules=[counter])
+        with pytest.raises(SimulationError):
+            simulator.run(until=lambda: False, max_cycles=10)
+
+
+class TestRTLProcessingElement:
+    def _schedule(self, activations):
+        return [
+            QueueEntry(column=int(i), value=float(v))
+            for i, v in enumerate(activations)
+            if v != 0.0
+        ]
+
+    def test_matches_functional_pe(self, compressed_layer, small_config, dense_activations):
+        pe_id = 0
+        slice_matrix = compressed_layer.storage.per_pe[pe_id]
+        schedule = self._schedule(dense_activations)
+        rtl = run_pe_rtl(slice_matrix, compressed_layer.codebook, schedule)
+
+        functional = ProcessingElement(
+            pe_id=pe_id,
+            slice_matrix=slice_matrix,
+            codebook=compressed_layer.codebook,
+            num_pes=small_config.num_pes,
+            config=small_config,
+        )
+        for entry in schedule:
+            functional.process_activation(entry.column, entry.value)
+        assert np.allclose(rtl.accumulators, functional.read_outputs())
+        assert rtl.entries_retired == functional.counters.entries_processed
+
+    def test_cycle_count_bounds(self, compressed_layer, dense_activations):
+        slice_matrix = compressed_layer.storage.per_pe[1]
+        schedule = self._schedule(dense_activations)
+        rtl = run_pe_rtl(slice_matrix, compressed_layer.codebook, schedule)
+        # At least one cycle per retired entry; at most entries + a small
+        # per-column overhead (pointer read / idle bubbles).
+        assert rtl.cycles >= rtl.entries_retired
+        assert rtl.cycles <= rtl.entries_retired + 3 * len(schedule) + 5
+        assert rtl.busy_cycles == rtl.entries_retired
+
+    def test_empty_schedule(self, compressed_layer):
+        rtl = run_pe_rtl(compressed_layer.storage.per_pe[0], compressed_layer.codebook, [])
+        assert rtl.entries_retired == 0
+        assert np.all(rtl.accumulators == 0.0)
+
+    def test_single_dense_column(self):
+        dense = np.array([[1.0], [2.0], [3.0]])
+        matrix = CSCMatrix.from_dense(dense)
+        from repro.compression.quantization import WeightCodebook
+
+        codebook = WeightCodebook(centroids=np.array([0.0, 1.0, 2.0, 3.0]), index_bits=4)
+        indices = codebook.quantize(dense)
+        index_matrix = CSCMatrix.from_dense(indices.astype(float))
+        rtl = run_pe_rtl(index_matrix, codebook, [QueueEntry(column=0, value=2.0)])
+        assert np.allclose(rtl.accumulators, dense[:, 0] * 2.0)
+        assert rtl.ptr_reads == 2

@@ -1,0 +1,85 @@
+"""Tests for the Table II area/power breakdown and the LNZD accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.area import (
+    LNZD_UNIT,
+    PE_TOTAL_AREA_UM2,
+    PE_TOTAL_POWER_MW,
+    PEAreaModel,
+    chip_area_mm2,
+    chip_power_w,
+    num_lnzd_units,
+)
+
+
+class TestPEAreaModel:
+    def test_total_power_matches_table2(self):
+        assert PEAreaModel().total_power_mw == pytest.approx(PE_TOTAL_POWER_MW, rel=0.01)
+
+    def test_total_area_matches_table2(self):
+        assert PEAreaModel().total_area_um2 == pytest.approx(PE_TOTAL_AREA_UM2, rel=0.01)
+
+    def test_memory_dominates_area(self):
+        # The paper: SRAM takes 93% of the area and 59% of the power.
+        model = PEAreaModel()
+        assert model.component_fraction("memory", "area") > 0.90
+        assert 0.5 < model.component_fraction("memory", "power") < 0.7
+
+    def test_spmat_read_is_largest_module(self):
+        model = PEAreaModel()
+        assert model.module_fraction("spmat_read", "area") > 0.7
+        assert model.module_fraction("spmat_read", "power") > 0.5
+
+    def test_arithmetic_is_small(self):
+        model = PEAreaModel()
+        assert model.module_fraction("arithmetic", "area") < 0.01
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PEAreaModel().module_fraction("dsp", "area")
+        with pytest.raises(ConfigurationError):
+            PEAreaModel().component_fraction("memory", "volume")
+
+    def test_breakdown_rows_include_total(self):
+        rows = PEAreaModel().breakdown_rows()
+        assert rows[0]["name"] == "Total"
+        assert rows[0]["area_pct"] == pytest.approx(100.0)
+        assert len(rows) > 10
+
+
+class TestLNZD:
+    def test_64_pes_need_21_units(self):
+        assert num_lnzd_units(64) == 21
+
+    def test_256_pes(self):
+        assert num_lnzd_units(256) == 64 + 16 + 4 + 1
+
+    def test_small_arrays(self):
+        assert num_lnzd_units(1) == 1
+        assert num_lnzd_units(4) == 1
+        assert num_lnzd_units(16) == 5
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            num_lnzd_units(0)
+
+    def test_lnzd_unit_is_negligible(self):
+        assert LNZD_UNIT.area_um2 / PE_TOTAL_AREA_UM2 < 0.003
+
+
+class TestChipTotals:
+    def test_64_pe_chip_matches_paper(self):
+        # Paper: 40.8 mm^2 and ~0.59 W for 64 PEs.
+        assert chip_area_mm2(64) == pytest.approx(40.8, rel=0.02)
+        assert chip_power_w(64) == pytest.approx(0.59, rel=0.02)
+
+    def test_area_scales_with_pes(self):
+        assert chip_area_mm2(128) == pytest.approx(2 * chip_area_mm2(64), rel=0.01)
+
+    def test_single_pe(self):
+        assert chip_area_mm2(1) == pytest.approx(0.638, rel=0.02)
+        assert chip_power_w(1) == pytest.approx(0.00918, rel=0.02)

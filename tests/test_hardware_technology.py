@@ -1,0 +1,48 @@
+"""Tests for technology-node scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.technology import (
+    NODE_28NM,
+    NODE_45NM,
+    TechnologyNode,
+    project,
+    scale_area,
+    scale_frequency,
+    scale_power,
+)
+
+
+class TestScaling:
+    def test_area_scales_quadratically(self):
+        assert scale_area(100.0, NODE_45NM, NODE_28NM) == pytest.approx(100.0 * (28 / 45) ** 2)
+
+    def test_frequency_scales_inversely_with_feature(self):
+        assert scale_frequency(800.0, NODE_45NM, NODE_28NM) == pytest.approx(800.0 * 45 / 28)
+
+    def test_power_scaling_reduces_power_at_same_frequency(self):
+        scaled = scale_power(1.0, NODE_45NM, NODE_28NM, frequency_ratio=1.0)
+        assert scaled < 1.0
+
+    def test_identity_scaling(self):
+        assert scale_area(5.0, NODE_45NM, NODE_45NM) == pytest.approx(5.0)
+        assert scale_frequency(5.0, NODE_45NM, NODE_45NM) == pytest.approx(5.0)
+
+    def test_node_validation(self):
+        with pytest.raises(Exception):
+            TechnologyNode(feature_nm=-1, supply_v=1.0)
+
+
+class TestProjection:
+    def test_64pe_projection_to_28nm(self):
+        projected = project(area_mm2=40.8, power_w=0.59, clock_mhz=800.0)
+        # Clock should land near the paper's 1200 MHz 28 nm assumption.
+        assert 1100 < projected["clock_mhz"] < 1400
+        assert projected["area_mm2"] < 40.8
+        assert projected["power_w"] < 0.59 * 2  # never blows up
+
+    def test_projection_keys(self):
+        projected = project(10.0, 1.0, 500.0)
+        assert set(projected) == {"area_mm2", "power_w", "clock_mhz"}

@@ -1,0 +1,135 @@
+"""Integration tests spanning compression, simulation and analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.roofline import RooflinePlatform
+from repro.baselines.specs import CPU_CORE_I7_5930K
+from repro.compression import CompressionConfig, DeepCompressor
+from repro.core import CycleAccurateEIE, EIEAccelerator, EIEConfig, FunctionalEIE
+from repro.hardware.area import chip_power_w
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.model import FeedForwardNetwork
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.generator import WorkloadBuilder
+from repro.workloads.models import build_alexnet_fc_network
+from repro.workloads.synthetic import generate_activations, generate_dense_weights
+
+
+class TestCompressedNetworkEndToEnd:
+    """Compress a scaled AlexNet FC tail and run it on EIE end to end."""
+
+    @pytest.fixture(scope="class")
+    def network(self):
+        return build_alexnet_fc_network(scale=96)
+
+    @pytest.fixture(scope="class")
+    def accelerator(self, network):
+        config = EIEConfig(num_pes=8)
+        accelerator = EIEAccelerator(config, CompressionConfig())
+        for layer in network.layers:
+            accelerator.compress_and_load(layer.weight, name=layer.name,
+                                          activation_name=layer.activation)
+        return accelerator
+
+    def test_eie_matches_compressed_software_network(self, network, accelerator):
+        rng = np.random.default_rng(11)
+        inputs = np.maximum(rng.normal(size=network.input_size), 0.0)
+        # The software reference runs the *decoded* compressed weights.
+        reference = inputs
+        for compressed, layer in zip(accelerator.layers, network.layers):
+            pre = compressed.dense_weights() @ reference
+            reference = np.maximum(pre, 0.0) if layer.activation == "relu" else pre
+        results = accelerator.run(inputs)
+        assert np.allclose(results[-1].output, reference)
+
+    def test_relu_sparsity_reduces_downstream_work(self, accelerator, network):
+        rng = np.random.default_rng(12)
+        inputs = np.maximum(rng.normal(size=network.input_size), 0.0)
+        results = accelerator.run(inputs)
+        # The second layer must broadcast no more activations than the first
+        # layer produced non-zero outputs.
+        assert results[1].broadcasts == np.count_nonzero(results[0].output)
+
+    def test_compression_accuracy_close_to_dense(self, network, accelerator):
+        rng = np.random.default_rng(13)
+        inputs = np.maximum(rng.normal(size=network.input_size), 0.0)
+        dense_out = network.forward(inputs)
+        eie_out = accelerator.run(inputs)[-1].output
+        # Weight sharing introduces bounded error; outputs stay correlated.
+        if np.linalg.norm(dense_out) > 0:
+            correlation = float(
+                np.dot(dense_out, eie_out)
+                / (np.linalg.norm(dense_out) * np.linalg.norm(eie_out) + 1e-12)
+            )
+            assert correlation > 0.9
+
+
+class TestBenchmarkPipelineSmallScale:
+    """Run one scaled Table III benchmark through every model layer."""
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return get_benchmark("Alex-7").scaled(64)
+
+    def test_functional_and_cycle_models_agree_on_work(self, spec):
+        config = EIEConfig(num_pes=8)
+        weights = generate_dense_weights(spec)
+        layer = DeepCompressor().compress(weights, num_pes=config.num_pes, name=spec.name)
+        activations = generate_activations(spec.cols, spec.activation_density, rng=3)
+        functional = FunctionalEIE(layer, config).run(activations)
+        cycle = CycleAccurateEIE(config).simulate_layer(layer, activations)
+        assert functional.total_entries_processed == cycle.entries_processed
+        assert functional.broadcasts == cycle.broadcasts
+
+    def test_eie_beats_cpu_baseline_on_scaled_layer(self, spec):
+        config = EIEConfig(num_pes=16)
+        workload = WorkloadBuilder().build(spec, config.num_pes)
+        eie_time = workload.simulate(config).time_s
+        cpu_time = RooflinePlatform(CPU_CORE_I7_5930K).dense_time_s(spec, batch=1)
+        assert cpu_time / eie_time > 10.0
+
+    def test_energy_advantage_larger_than_speed_advantage(self, spec):
+        config = EIEConfig(num_pes=16)
+        workload = WorkloadBuilder().build(spec, config.num_pes)
+        eie_time = workload.simulate(config).time_s
+        cpu_time = RooflinePlatform(CPU_CORE_I7_5930K).dense_time_s(spec, batch=1)
+        eie_energy = eie_time * chip_power_w(config.num_pes)
+        cpu_energy = cpu_time * CPU_CORE_I7_5930K.power_w
+        assert cpu_energy / eie_energy > cpu_time / eie_time
+
+
+class TestMultiLayerNetworkConsistency:
+    def test_network_output_independent_of_pe_count(self, rng):
+        weights1 = rng.normal(size=(32, 48)) * (rng.random((32, 48)) < 0.2)
+        weights2 = rng.normal(size=(16, 32)) * (rng.random((16, 32)) < 0.2)
+        weights1[0, 0] = weights2[0, 0] = 0.3
+        inputs = rng.uniform(0, 1, size=48)
+        outputs = []
+        for num_pes in (1, 2, 8):
+            accelerator = EIEAccelerator(EIEConfig(num_pes=num_pes))
+            accelerator.compress_and_load(weights1, name="fc1")
+            accelerator.compress_and_load(weights2, name="fc2")
+            outputs.append(accelerator.run(inputs)[-1].output)
+        assert np.allclose(outputs[0], outputs[1])
+        assert np.allclose(outputs[0], outputs[2])
+
+    def test_software_network_and_accelerator_share_structure(self, rng):
+        layers = [
+            FullyConnectedLayer(weight=rng.normal(size=(24, 30)) * (rng.random((24, 30)) < 0.3),
+                                activation="relu", name="a"),
+            FullyConnectedLayer(weight=rng.normal(size=(10, 24)) * (rng.random((10, 24)) < 0.3),
+                                activation="identity", name="b"),
+        ]
+        for layer in layers:
+            layer.weight[0, 0] = 0.4
+        network = FeedForwardNetwork(layers)
+        accelerator = EIEAccelerator(EIEConfig(num_pes=4))
+        for layer in network.layers:
+            accelerator.compress_and_load(layer.weight, name=layer.name,
+                                          activation_name=layer.activation)
+        assert len(accelerator.layers) == len(network.layers)
+        assert accelerator.layers[0].cols == network.input_size
+        assert accelerator.layers[-1].rows == network.output_size

@@ -1,0 +1,121 @@
+"""Tests for the convolution lowerings (1x1 M x V and Winograd F(2x2,3x3))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.convolution import (
+    ConvWorkload,
+    conv1x1_as_matvec,
+    conv2d_via_im2col,
+    direct_conv2d,
+    im2col,
+    winograd_conv2d_3x3,
+    winograd_multiplication_savings,
+)
+
+
+@pytest.fixture
+def feature_map(rng):
+    return rng.normal(size=(3, 8, 10))
+
+
+@pytest.fixture
+def kernels_3x3(rng):
+    return rng.normal(size=(4, 3, 3, 3))
+
+
+class TestDirectConv:
+    def test_known_small_case(self):
+        feature = np.arange(16, dtype=float).reshape(1, 4, 4)
+        kernel = np.zeros((1, 1, 2, 2))
+        kernel[0, 0] = [[1.0, 0.0], [0.0, 1.0]]
+        output = direct_conv2d(feature, kernel)
+        assert output.shape == (1, 3, 3)
+        assert output[0, 0, 0] == feature[0, 0, 0] + feature[0, 1, 1]
+
+    def test_padding_and_stride(self, feature_map, kernels_3x3):
+        output = direct_conv2d(feature_map, kernels_3x3, stride=2, padding=1)
+        assert output.shape == (4, 4, 5)
+
+    def test_channel_mismatch_rejected(self, feature_map, rng):
+        with pytest.raises(ConfigurationError):
+            direct_conv2d(feature_map, rng.normal(size=(2, 5, 3, 3)))
+
+    def test_kernel_too_large_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            direct_conv2d(rng.normal(size=(1, 2, 2)), rng.normal(size=(1, 1, 3, 3)))
+
+
+class TestIm2col:
+    def test_matches_direct_convolution(self, feature_map, kernels_3x3):
+        direct = direct_conv2d(feature_map, kernels_3x3, stride=1, padding=1)
+        lowered = conv2d_via_im2col(feature_map, kernels_3x3, stride=1, padding=1)
+        assert np.allclose(lowered, direct)
+
+    def test_column_count(self, feature_map):
+        columns = im2col(feature_map, 3, 3, stride=1, padding=0)
+        assert columns.shape == (3 * 9, 6 * 8)
+
+    def test_strided(self, feature_map, kernels_3x3):
+        direct = direct_conv2d(feature_map, kernels_3x3, stride=2, padding=0)
+        lowered = conv2d_via_im2col(feature_map, kernels_3x3, stride=2, padding=0)
+        assert np.allclose(lowered, direct)
+
+
+class TestConv1x1:
+    def test_matches_direct_convolution(self, feature_map, rng):
+        weight = rng.normal(size=(5, 3))
+        as_matvec = conv1x1_as_matvec(feature_map, weight)
+        direct = direct_conv2d(feature_map, weight[:, :, None, None])
+        assert np.allclose(as_matvec, direct)
+
+    def test_each_position_is_one_matvec(self, feature_map, rng):
+        weight = rng.normal(size=(5, 3))
+        output = conv1x1_as_matvec(feature_map, weight)
+        row, col = 2, 7
+        assert np.allclose(output[:, row, col], weight @ feature_map[:, row, col])
+
+    def test_channel_mismatch_rejected(self, feature_map, rng):
+        with pytest.raises(ConfigurationError):
+            conv1x1_as_matvec(feature_map, rng.normal(size=(5, 4)))
+
+
+class TestWinograd:
+    def test_matches_direct_convolution(self, rng):
+        feature = rng.normal(size=(3, 10, 8))
+        kernels = rng.normal(size=(4, 3, 3, 3))
+        winograd = winograd_conv2d_3x3(feature, kernels)
+        direct = direct_conv2d(feature, kernels)
+        assert np.allclose(winograd, direct, atol=1e-9)
+
+    def test_single_channel_single_filter(self, rng):
+        feature = rng.normal(size=(1, 6, 6))
+        kernels = rng.normal(size=(1, 1, 3, 3))
+        assert np.allclose(winograd_conv2d_3x3(feature, kernels), direct_conv2d(feature, kernels))
+
+    def test_requires_3x3_kernels(self, rng):
+        with pytest.raises(ConfigurationError):
+            winograd_conv2d_3x3(rng.normal(size=(1, 6, 6)), rng.normal(size=(1, 1, 5, 5)))
+
+    def test_requires_even_output_tiles(self, rng):
+        with pytest.raises(ConfigurationError):
+            winograd_conv2d_3x3(rng.normal(size=(1, 5, 6)), rng.normal(size=(1, 1, 3, 3)))
+
+    def test_multiplication_savings_is_2_25(self):
+        assert winograd_multiplication_savings() == pytest.approx(2.25)
+
+
+class TestConvWorkload:
+    def test_1x1_mapping(self):
+        workload = ConvWorkload.for_conv1x1(out_channels=256, in_channels=64, height=14, width=14)
+        assert workload.matrix_shape == (256, 64)
+        assert workload.num_matvecs == 14 * 14
+
+    def test_winograd_mapping(self):
+        workload = ConvWorkload.for_winograd_3x3(out_channels=64, in_channels=64, height=14, width=14)
+        # 6x6 tiles of 2x2 outputs, 16 M x V each.
+        assert workload.num_matvecs == 16 * 36
+        assert workload.matrix_shape == (64, 64)

@@ -1,0 +1,67 @@
+"""Tests for fixed-point formats and quantisation SNR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.fixed_point import FORMATS, FixedPointFormat, quantization_snr_db
+
+
+class TestFixedPointFormat:
+    def test_scale_and_range(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=8)
+        assert fmt.scale == pytest.approx(1 / 256)
+        assert fmt.max_value == pytest.approx((2**15 - 1) / 256)
+        assert fmt.min_value == pytest.approx(-(2**15) / 256)
+
+    def test_roundtrip_of_representable_values(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=8)
+        values = np.array([0.0, 1.0, -1.0, 0.5, -0.25, 3.14159])
+        quantized = fmt.quantize(values)
+        assert np.all(np.abs(quantized - values) <= fmt.scale / 2 + 1e-12)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(total_bits=8, fraction_bits=4)
+        assert fmt.quantize(1000.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-1000.0) == pytest.approx(fmt.min_value)
+
+    def test_to_fixed_returns_integers(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=8)
+        codes = fmt.to_fixed([0.5, -0.5])
+        assert codes.dtype == np.int64
+        assert codes.tolist() == [128, -128]
+
+    def test_quantization_error_bounded_by_lsb(self):
+        fmt = FixedPointFormat(total_bits=16, fraction_bits=8)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-10, 10, size=1000)
+        errors = fmt.quantization_error(values)
+        assert np.max(np.abs(errors)) <= fmt.scale / 2 + 1e-12
+
+    def test_invalid_formats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(total_bits=1, fraction_bits=0)
+        with pytest.raises(ConfigurationError):
+            FixedPointFormat(total_bits=8, fraction_bits=8)
+
+    def test_formats_registry(self):
+        assert FORMATS["float32"] is None
+        assert FORMATS["int16"].total_bits == 16
+        assert FORMATS["int8"].total_bits == 8
+
+
+class TestQuantizationSnr:
+    def test_float_is_infinite(self):
+        assert quantization_snr_db(np.array([1.0, 2.0]), None) == float("inf")
+
+    def test_wider_format_has_higher_snr(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1, size=2000)
+        snr16 = quantization_snr_db(values, FORMATS["int16"])
+        snr8 = quantization_snr_db(values, FORMATS["int8"])
+        assert snr16 > snr8 > 0
+
+    def test_zero_signal(self):
+        assert quantization_snr_db(np.zeros(10), FORMATS["int8"]) == float("inf")

@@ -1,0 +1,85 @@
+"""Tests for the LSTM cell and its eight-MxV decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import sigmoid, tanh
+from repro.nn.lstm import LSTM_GATE_NAMES, LSTMCell, LSTMState
+
+
+@pytest.fixture
+def cell(rng) -> LSTMCell:
+    return LSTMCell.random(input_size=10, hidden_size=6, rng=rng)
+
+
+class TestLSTMCellStructure:
+    def test_eight_matrix_vector_products(self, cell):
+        assert cell.num_matrix_vector_products == 8
+        assert len(cell.matrices()) == 8
+
+    def test_stacked_matrix_shape(self, cell):
+        stacked = cell.stacked_matrix()
+        assert stacked.shape == (4 * cell.hidden_size, cell.input_size + cell.hidden_size)
+
+    def test_missing_gate_rejected(self, rng):
+        weights = {gate: rng.normal(size=(4, 4)) for gate in LSTM_GATE_NAMES[:-1]}
+        with pytest.raises(ConfigurationError):
+            LSTMCell(input_weights=weights, recurrent_weights=weights)
+
+    def test_inconsistent_sizes_rejected(self, rng):
+        input_weights = {gate: rng.normal(size=(4, 5)) for gate in LSTM_GATE_NAMES}
+        recurrent_weights = {gate: rng.normal(size=(4, 4)) for gate in LSTM_GATE_NAMES}
+        recurrent_weights["forget"] = rng.normal(size=(4, 3))
+        with pytest.raises(ConfigurationError):
+            LSTMCell(input_weights=input_weights, recurrent_weights=recurrent_weights)
+
+
+class TestLSTMCellComputation:
+    def test_step_matches_reference_equations(self, cell, rng):
+        inputs = rng.normal(size=cell.input_size)
+        state = LSTMState(hidden=rng.normal(size=cell.hidden_size), cell=rng.normal(size=cell.hidden_size))
+        new_state = cell.step(inputs, state)
+
+        pre = {
+            gate: cell.input_weights[gate] @ inputs + cell.recurrent_weights[gate] @ state.hidden
+            for gate in LSTM_GATE_NAMES
+        }
+        expected_cell = sigmoid(pre["forget"]) * state.cell + sigmoid(pre["input"]) * tanh(pre["cell"])
+        expected_hidden = sigmoid(pre["output"]) * tanh(expected_cell)
+        assert np.allclose(new_state.cell, expected_cell)
+        assert np.allclose(new_state.hidden, expected_hidden)
+
+    def test_gate_preactivations_sum_both_products(self, cell, rng):
+        inputs = rng.normal(size=cell.input_size)
+        state = LSTMState.zeros(cell.hidden_size)
+        pre = cell.gate_pre_activations(inputs, state)
+        assert set(pre) == set(LSTM_GATE_NAMES)
+        assert np.allclose(pre["input"], cell.input_weights["input"] @ inputs)
+
+    def test_run_sequence_length(self, cell, rng):
+        sequence = rng.normal(size=(5, cell.input_size))
+        states = cell.run_sequence(sequence)
+        assert len(states) == 5
+        assert states[-1].hidden.shape == (cell.hidden_size,)
+
+    def test_sequence_must_be_2d(self, cell, rng):
+        with pytest.raises(ConfigurationError):
+            cell.run_sequence(rng.normal(size=cell.input_size))
+
+    def test_zero_state_factory(self):
+        state = LSTMState.zeros(4)
+        assert np.all(state.hidden == 0) and np.all(state.cell == 0)
+
+    def test_hidden_bounded_by_one(self, cell, rng):
+        # tanh(output) * sigmoid(...) is bounded in (-1, 1).
+        state = LSTMState.zeros(cell.hidden_size)
+        for _ in range(10):
+            state = cell.step(rng.normal(size=cell.input_size), state)
+        assert np.all(np.abs(state.hidden) < 1.0)
+
+    def test_wrong_input_length_rejected(self, cell):
+        with pytest.raises(ConfigurationError):
+            cell.step(np.zeros(cell.input_size + 1), LSTMState.zeros(cell.hidden_size))

@@ -1,0 +1,65 @@
+"""Tests for the sequential feed-forward network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import FullyConnectedLayer
+from repro.nn.model import FeedForwardNetwork
+
+
+def _make_network(rng: np.random.Generator) -> FeedForwardNetwork:
+    first = FullyConnectedLayer(weight=rng.normal(size=(6, 8)), activation="relu", name="l1")
+    second = FullyConnectedLayer(weight=rng.normal(size=(4, 6)), activation="identity", name="l2")
+    return FeedForwardNetwork([first, second], name="net")
+
+
+class TestFeedForwardNetwork:
+    def test_forward_matches_manual_composition(self, rng):
+        network = _make_network(rng)
+        inputs = rng.normal(size=8)
+        expected = network.layers[1].forward(network.layers[0].forward(inputs))
+        assert np.allclose(network.forward(inputs), expected)
+
+    def test_trace_records_all_activations(self, rng):
+        network = _make_network(rng)
+        trace = network.trace(rng.normal(size=8))
+        assert len(trace.activations) == 2
+        assert trace.output.shape == (4,)
+        assert np.allclose(trace.layer_input(1), trace.activations[0])
+        assert np.allclose(trace.layer_input(0), trace.inputs)
+
+    def test_activation_density_after_relu(self, rng):
+        network = _make_network(rng)
+        trace = network.trace(rng.normal(size=8))
+        density = trace.activation_density(1)
+        assert 0.0 <= density <= 1.0
+
+    def test_size_properties(self, rng):
+        network = _make_network(rng)
+        assert network.input_size == 8
+        assert network.output_size == 4
+        assert network.num_parameters == 6 * 8 + 4 * 6
+        assert network.total_flops == 2 * (6 * 8 + 4 * 6)
+        assert len(network) == 2
+
+    def test_mismatched_layers_rejected(self, rng):
+        first = FullyConnectedLayer(weight=rng.normal(size=(6, 8)))
+        second = FullyConnectedLayer(weight=rng.normal(size=(4, 5)))
+        with pytest.raises(ConfigurationError):
+            FeedForwardNetwork([first, second])
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeedForwardNetwork([])
+
+    def test_wrong_input_length_rejected(self, rng):
+        network = _make_network(rng)
+        with pytest.raises(ConfigurationError):
+            network.forward(np.zeros(9))
+
+    def test_iteration(self, rng):
+        network = _make_network(rng)
+        assert [layer.name for layer in network] == ["l1", "l2"]

@@ -1,0 +1,98 @@
+"""Property-based tests for the partitioning strategies and workload builder."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import (
+    simulate_block_2d,
+    simulate_column_partitioned,
+    simulate_row_interleaved,
+)
+from repro.workloads.benchmarks import LayerSpec
+from repro.workloads.generator import WorkloadBuilder
+from repro.workloads.synthetic import generate_activations, generate_sparse_pattern
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def pattern_and_activations(draw):
+    rows = draw(st.integers(8, 120))
+    cols = draw(st.integers(4, 60))
+    weight_density = draw(st.floats(0.02, 0.5))
+    activation_density = draw(st.floats(0.05, 1.0))
+    seed = draw(st.integers(0, 2**31 - 1))
+    pattern = generate_sparse_pattern(rows, cols, weight_density, rng=seed)
+    activations = generate_activations(cols, activation_density, rng=seed + 1)
+    return pattern, activations
+
+
+class TestPartitioningProperties:
+    @SETTINGS
+    @given(data=pattern_and_activations(), num_pes=st.sampled_from([1, 2, 4, 8, 16]))
+    def test_work_conservation_across_strategies(self, data, num_pes):
+        pattern, activations = data
+        column = simulate_column_partitioned(pattern, activations, num_pes)
+        block = simulate_block_2d(pattern, activations, num_pes)
+        row = simulate_row_interleaved(pattern, activations, num_pes, max_run=10**6)
+        # Without padding all strategies perform exactly one MAC per non-zero
+        # weight whose column has a non-zero activation.
+        nonzero_mask = activations != 0.0
+        expected = int(pattern.column_nnz()[nonzero_mask].sum())
+        assert column.total_work == expected
+        assert block.total_work == expected
+        assert row.total_work == expected
+
+    @SETTINGS
+    @given(data=pattern_and_activations(), num_pes=st.sampled_from([2, 4, 8]))
+    def test_structural_invariants(self, data, num_pes):
+        pattern, activations = data
+        for simulate in (simulate_column_partitioned, simulate_row_interleaved, simulate_block_2d):
+            result = simulate(pattern, activations, num_pes)
+            assert result.per_pe_work.shape == (num_pes,)
+            assert result.compute_cycles >= int(result.per_pe_work.max(initial=0))
+            assert 0.0 <= result.load_balance_efficiency <= 1.0
+            assert 0 <= result.idle_pes <= num_pes
+            assert result.total_cycles >= result.compute_cycles
+
+    @SETTINGS
+    @given(data=pattern_and_activations())
+    def test_row_interleaving_never_needs_reduction(self, data):
+        pattern, activations = data
+        result = simulate_row_interleaved(pattern, activations, num_pes=4)
+        assert result.reduction_words == 0
+        assert result.communication_cycles == 0
+
+
+class TestWorkloadBuilderProperties:
+    @SETTINGS
+    @given(
+        rows=st.integers(16, 200),
+        cols=st.integers(8, 80),
+        weight_density=st.floats(0.03, 0.4),
+        activation_density=st.floats(0.1, 1.0),
+        num_pes=st.sampled_from([1, 2, 4, 8]),
+        seed=st.integers(0, 2**20),
+    )
+    def test_workload_totals_consistent(
+        self, rows, cols, weight_density, activation_density, num_pes, seed
+    ):
+        spec = LayerSpec(
+            name=f"prop-{seed}",
+            input_size=cols,
+            output_size=rows,
+            weight_density=weight_density,
+            activation_density=activation_density,
+            seed=seed,
+        )
+        workload = WorkloadBuilder().build(spec, num_pes)
+        # Touched entries can never exceed the whole matrix's stored entries,
+        # and the padding accounting must be internally consistent.
+        assert workload.touched_entries <= workload.total_entries
+        assert workload.total_entries == workload.true_nonzeros + workload.total_padding
+        assert int(workload.padding_work.sum()) <= workload.total_padding
+        assert workload.work.shape == (num_pes, workload.broadcasts)
+        assert np.all(workload.padding_work <= workload.work)
