@@ -4,6 +4,9 @@ Runs the PE-count sweep on all nine full-size benchmarks at FIFO depth 8 and
 checks the scalability conclusions: speedup is near-linear for the large
 layers (Alex/VGG) and saturates for NT-We, whose 600 rows spread too thinly
 over many PEs.
+
+Every sweep point is timed by the registry's ``"cycle"`` engine (one engine
+and one prepared workload per PE count; see :func:`repro.analysis.scalability.pe_sweep`).
 """
 
 from __future__ import annotations

@@ -3,6 +3,9 @@
 More PEs mean fewer non-zeros per PE per column and therefore more relative
 variance between PEs, so the load-balance efficiency degrades with PE count —
 the counterpart of Figure 12's improving padding overhead.
+
+Every sweep point is timed by the registry's ``"cycle"`` engine (see
+:func:`repro.analysis.scalability.pe_sweep`).
 """
 
 from __future__ import annotations

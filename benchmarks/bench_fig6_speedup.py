@@ -4,6 +4,9 @@ Regenerates the nine-benchmark x seven-configuration speedup chart plus the
 geometric mean, and checks the paper's qualitative claims: EIE wins on every
 benchmark, the geometric-mean speedup over the CPU is in the hundreds, the
 GPU sits in between, and compression alone (without EIE) buys only a few x.
+
+The EIE bar of every benchmark is produced by the ``"cycle"`` backend of
+:class:`repro.engine.EngineRegistry` (via :func:`repro.analysis.speedup`).
 """
 
 from __future__ import annotations

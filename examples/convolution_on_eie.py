@@ -55,7 +55,8 @@ def conv1x1_on_eie() -> None:
             result = accelerator.run_layer(0, pixel)
             output[:, row, col] = result.output
             total_entries += result.total_entries_processed
-            total_cycles += accelerator.cycle_model.simulate_layer(layer, pixel).total_cycles
+            estimate = accelerator.estimate_layer(layer, pixel, run_functional=False)
+            total_cycles += estimate.cycles.total_cycles
 
     reference = conv1x1_as_matvec(feature_map, layer.dense_weights())
     assert np.allclose(output, reference), "1x1 convolution mismatch"

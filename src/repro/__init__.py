@@ -45,6 +45,14 @@ from repro.core import (
     FunctionalResult,
     LayerEstimate,
 )
+from repro.engine import (
+    EngineRegistry,
+    EngineResult,
+    PreparedLayer,
+    Session,
+    SimulationEngine,
+    register_engine,
+)
 from repro.hardware import ENERGY_TABLE_45NM, EnergyModel, PEAreaModel
 from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
@@ -64,6 +72,8 @@ __all__ = [
     "EIEConfig",
     "ENERGY_TABLE_45NM",
     "EnergyModel",
+    "EngineRegistry",
+    "EngineResult",
     "FeedForwardNetwork",
     "FullyConnectedLayer",
     "FunctionalEIE",
@@ -74,8 +84,12 @@ __all__ = [
     "LayerEstimate",
     "LayerSpec",
     "PEAreaModel",
+    "PreparedLayer",
+    "Session",
+    "SimulationEngine",
     "WeightCodebook",
     "WorkloadBuilder",
     "__version__",
     "prune_to_density",
+    "register_engine",
 ]

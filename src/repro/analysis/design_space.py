@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import EIEConfig
+from repro.engine import EngineRegistry
 from repro.hardware.energy import multiply_energy_pj
 from repro.hardware.sram import sram_read_energy_pj
 from repro.nn.fixed_point import FORMATS, FixedPointFormat
@@ -52,16 +53,23 @@ def fifo_depth_sweep(
     builder: WorkloadBuilder | None = None,
     clock_mhz: float = 800.0,
 ) -> dict[str, dict[int, float]]:
-    """Figure 8: load-balance efficiency per benchmark and FIFO depth."""
+    """Figure 8: load-balance efficiency per benchmark and FIFO depth.
+
+    The sweep runs through the ``"cycle"`` engine of the registry: each
+    benchmark's workload is prepared once and shared by every depth point
+    (the prepared work matrices depend only on the PE count).
+    """
     builder = builder or WorkloadBuilder()
     results: dict[str, dict[int, float]] = {}
     for benchmark in benchmarks:
         spec = resolve_spec(benchmark)
         workload = builder.build(spec, num_pes)
+        base_config = EIEConfig(num_pes=num_pes, clock_mhz=clock_mhz)
+        prepared = EngineRegistry.create("cycle", base_config).prepare(workload)
         per_depth: dict[int, float] = {}
         for depth in depths:
             config = EIEConfig(num_pes=num_pes, fifo_depth=int(depth), clock_mhz=clock_mhz)
-            stats = workload.simulate(config)
+            stats = EngineRegistry.create("cycle", config).run(prepared).stats
             per_depth[int(depth)] = stats.load_balance_efficiency
         results[spec.name] = per_depth
     return results

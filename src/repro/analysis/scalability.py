@@ -17,6 +17,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.core.config import EIEConfig
+from repro.engine import EngineRegistry
 from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
 from repro.workloads.generator import WorkloadBuilder
 
@@ -58,7 +59,8 @@ def pe_sweep(
 
     Returns one list of :class:`ScalabilityPoint` per benchmark, ordered by
     PE count.  The speedup is measured against the smallest PE count in the
-    sweep (the paper uses 1 PE).
+    sweep (the paper uses 1 PE).  Timing runs through the registry's
+    ``"cycle"`` engine (one engine and preparation per PE count).
     """
     builder = builder or WorkloadBuilder()
     results: dict[str, list[ScalabilityPoint]] = {}
@@ -69,7 +71,8 @@ def pe_sweep(
         for num_pes in pe_counts:
             workload = builder.build(spec, int(num_pes))
             config = EIEConfig(num_pes=int(num_pes), fifo_depth=fifo_depth, clock_mhz=clock_mhz)
-            stats = workload.simulate(config)
+            engine = EngineRegistry.create("cycle", config)
+            stats = engine.run(engine.prepare(workload)).stats
             if baseline_cycles is None:
                 baseline_cycles = stats.total_cycles
             speedup = baseline_cycles / stats.total_cycles if stats.total_cycles else 0.0

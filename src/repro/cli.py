@@ -8,6 +8,7 @@ Usage (after installing the package)::
     python -m repro.cli figure 11 --benchmarks Alex-6 NT-We
     python -m repro.cli ablation partitioning --benchmarks Alex-7
     python -m repro.cli summary                        # headline configuration
+    python -m repro.cli run --engine cycle --rows 256 --cols 512 --batch 8
 
 Figures 6-13 and Tables IV-V generate the full-size Table III workloads, so
 the first invocation in a process takes tens of seconds; the benchmark
@@ -33,8 +34,11 @@ from repro.analysis.report import format_table, render_series
 from repro.analysis.scalability import pe_sweep
 from repro.analysis.speedup import speedup_table
 from repro.analysis.tables import table1_rows, table2_rows, table3_rows, table4_rows, table5_rows
+from repro.compression.pipeline import CompressionConfig
 from repro.core.config import EIEConfig
+from repro.engine import EngineRegistry, Session
 from repro.hardware.area import chip_area_mm2, chip_power_w
+from repro.utils.rng import make_rng
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 from repro.workloads.generator import WorkloadBuilder
 
@@ -75,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "summary", parents=[common], help="print the accelerator's headline characteristics"
     )
+
+    run_parser = subparsers.add_parser(
+        "run", parents=[common],
+        help="compress a synthetic layer and run it through a simulation engine",
+    )
+    run_parser.add_argument(
+        "--engine", choices=EngineRegistry.names(), default="functional",
+        help="registered simulation backend to run",
+    )
+    run_parser.add_argument("--rows", type=int, default=64, help="layer output size")
+    run_parser.add_argument("--cols", type=int, default=128, help="layer input size")
+    run_parser.add_argument(
+        "--density", type=float, default=0.10, help="weight density after pruning"
+    )
+    run_parser.add_argument(
+        "--activation-density", type=float, default=0.35,
+        help="density of the input activation vectors",
+    )
+    run_parser.add_argument("--batch", type=int, default=1, help="number of input vectors")
+    run_parser.add_argument("--seed", type=int, default=0, help="RNG seed for the synthetic data")
     return parser
 
 
@@ -190,6 +214,59 @@ def _run_ablation(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
     )
 
 
+def _run_engine(args: argparse.Namespace) -> str:
+    """Compress one synthetic layer and run it through the selected engine.
+
+    This is the CLI face of the :mod:`repro.engine` seam (and the CI smoke
+    test): a Bernoulli-sparse layer is compressed once into the session
+    cache, prepared once, and the whole activation batch is executed with a
+    single ``run`` call.
+    """
+    import numpy as np
+
+    if args.rows < 1 or args.cols < 1 or args.batch < 1:
+        raise SystemExit("run: --rows, --cols and --batch must be >= 1")
+    if not 0.0 < args.density <= 1.0:
+        raise SystemExit("run: --density must be in (0, 1]")
+    if not 0.0 < args.activation_density <= 1.0:
+        raise SystemExit("run: --activation-density must be in (0, 1]")
+    config = _config(args)
+    rng = make_rng(args.seed)
+    weights = rng.normal(0.0, 0.1, size=(args.rows, args.cols))
+    session = Session(CompressionConfig(target_density=args.density), config=config)
+    layer = session.compress(weights, num_pes=config.num_pes, name="cli-synthetic")
+    activations = rng.uniform(0.1, 1.0, size=(args.batch, args.cols))
+    activations[rng.random((args.batch, args.cols)) >= args.activation_density] = 0.0
+    result = session.run(args.engine, layer, activations)
+
+    rows: list[list[object]] = [
+        ["Engine", args.engine],
+        ["Layer", f"{layer.rows} x {layer.cols} ({layer.weight_density:.1%} dense)"],
+        ["PEs / FIFO depth", f"{config.num_pes} / {config.fifo_depth}"],
+        ["Batch", result.batch_size],
+    ]
+    if result.outputs is not None:
+        reference = np.maximum(layer.dense_weights() @ activations.T, 0.0).T
+        rows.append(["Output shape", "x".join(str(s) for s in result.outputs.shape)])
+        rows.append(["Matches dense reference", bool(np.allclose(result.outputs, reference))])
+    if result.functional:
+        rows.append(["Broadcasts (mean)",
+                     sum(f.broadcasts for f in result.functional) / len(result.functional)])
+        rows.append(["Entries processed (total)",
+                     sum(f.total_entries_processed for f in result.functional)])
+    if result.cycles:
+        total = sum(stats.total_cycles for stats in result.cycles)
+        rows.append(["Cycles (total)", total])
+        rows.append(["Latency (us, total)", f"{sum(s.time_s for s in result.cycles) * 1e6:.2f}"])
+        rows.append(["Load balance (first item)",
+                     f"{result.cycles[0].load_balance_efficiency:.1%}"])
+    if "rtl" in result.extra:
+        per_item = result.extra["rtl"]
+        rows.append(["RTL cycles (max PE, first item)",
+                     max(r.cycles for r in per_item[0])])
+    return f"Engine run ({args.engine}):\n" + format_table(["Field", "Value"], rows)
+
+
 def _run_summary(args: argparse.Namespace) -> str:
     config = _config(args)
     rows = [
@@ -216,6 +293,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         output = _run_figure(args, builder)
     elif args.command == "ablation":
         output = _run_ablation(args, builder)
+    elif args.command == "run":
+        output = _run_engine(args)
     else:
         output = _run_summary(args)
     print(output)

@@ -10,6 +10,7 @@ compression-ratio claims of the paper can be checked.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,7 +23,28 @@ from repro.errors import CompressionError
 from repro.utils.rng import make_rng
 from repro.utils.validation import require_matrix
 
-__all__ = ["CompressionConfig", "CompressedLayer", "DeepCompressor"]
+__all__ = [
+    "CompressionConfig",
+    "CompressedLayer",
+    "DeepCompressor",
+    "weights_fingerprint",
+]
+
+
+def weights_fingerprint(weights: np.ndarray) -> str:
+    """Content hash of a dense weight matrix, usable as a cache key.
+
+    The digest covers the element bytes, dtype and shape, so two arrays with
+    the same values but different shapes (or precisions) never collide.  The
+    engine :class:`~repro.engine.session.Session` keys its compressed-layer
+    cache on this, letting design-space sweeps compress each layer once.
+    """
+    weights = np.ascontiguousarray(weights)
+    digest = hashlib.sha256()
+    digest.update(str(weights.dtype).encode())
+    digest.update(str(weights.shape).encode())
+    digest.update(weights.tobytes())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

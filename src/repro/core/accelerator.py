@@ -11,6 +11,12 @@ from a dense weight matrix to EIE performance and energy numbers:
 * :meth:`EIEAccelerator.estimate_layer` combines the cycle-level timing model
   with the energy and area models to produce the per-layer latency, power and
   energy numbers reported in Table IV, Figure 6 and Figure 7.
+
+All simulation goes through the :mod:`repro.engine` seam: the facade owns a
+:class:`~repro.engine.session.Session`, so repeated calls on the same layer
+reuse the cached compressed form, the prepared PE array of the
+``"functional"`` engine and the prepared work matrices of the ``"cycle"``
+engine instead of rebuilding them per call.
 """
 
 from __future__ import annotations
@@ -19,11 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compression.pipeline import CompressedLayer, CompressionConfig, DeepCompressor
+from repro.compression.pipeline import CompressedLayer, CompressionConfig
 from repro.core.config import EIEConfig
-from repro.core.cycle_model import CycleAccurateEIE, CycleStats
-from repro.core.functional import FunctionalEIE, FunctionalResult
+from repro.core.cycle_model import CycleStats
+from repro.core.functional import FunctionalResult
 from repro.core.stats import EnergyStats, PerformanceStats
+from repro.engine.session import Session
 from repro.errors import SimulationError
 from repro.hardware.area import chip_area_mm2, chip_power_w
 from repro.hardware.energy import EnergyModel
@@ -59,10 +66,15 @@ class EIEAccelerator:
         self,
         config: EIEConfig | None = None,
         compression: CompressionConfig | None = None,
+        session: Session | None = None,
     ) -> None:
         self.config = config or EIEConfig()
-        self.compressor = DeepCompressor(compression or CompressionConfig())
-        self.cycle_model = CycleAccurateEIE(self.config)
+        if session is not None and compression is not None:
+            raise SimulationError(
+                "pass either a compression configuration or a ready session, not both"
+            )
+        self.session = session or Session(compression, config=self.config)
+        self.compressor = self.session.compressor
         self.energy_model = EnergyModel(precision="int16")
         self.layers: list[CompressedLayer] = []
 
@@ -95,9 +107,13 @@ class EIEAccelerator:
         name: str = "layer",
         activation_name: str = "relu",
     ) -> CompressedLayer:
-        """Compress a dense weight matrix and load it as the next layer."""
+        """Compress a dense weight matrix and load it as the next layer.
+
+        Compression goes through the session cache: reloading a matrix this
+        session has already compressed (same parameters) is free.
+        """
         weights = require_matrix("weights", weights)
-        layer = self.compressor.compress(
+        layer = self.session.compress(
             weights, num_pes=self.config.num_pes, name=name, activation_name=activation_name
         )
         return self.load_compressed_layer(layer)
@@ -112,8 +128,11 @@ class EIEAccelerator:
         """Functionally run one loaded layer on ``activations``."""
         if not 0 <= layer_index < len(self.layers):
             raise SimulationError(f"layer index {layer_index} out of range")
-        simulator = FunctionalEIE(self.layers[layer_index], self.config)
-        return simulator.run(activations)
+        activations = require_vector("activations", activations)
+        result = self.session.run(
+            "functional", self.layers[layer_index], activations, config=self.config
+        )
+        return result.functional[0]
 
     def run(self, activations: np.ndarray) -> list[FunctionalResult]:
         """Run all loaded layers in sequence (multi-layer feed-forward).
@@ -134,6 +153,21 @@ class EIEAccelerator:
             current = result.output
         return results
 
+    def run_batch(self, activations: np.ndarray) -> np.ndarray:
+        """Feed a ``(batch, n_in)`` activation matrix through all layers.
+
+        Each row is one independent inference; every layer's prepared PE
+        array is built once (session cache) and reused across the batch.
+        Returns the ``(batch, n_out)`` network outputs.
+        """
+        if not self.layers:
+            raise SimulationError("no layers loaded")
+        current = np.asarray(require_matrix("activations", activations), dtype=np.float64)
+        for layer in self.layers:
+            result = self.session.run("functional", layer, current, config=self.config)
+            current = result.outputs
+        return current
+
     # -- performance / energy estimation -------------------------------------------------
 
     @property
@@ -153,12 +187,15 @@ class EIEAccelerator:
         run_functional: bool = True,
     ) -> LayerEstimate:
         """Estimate latency, throughput and energy of ``layer`` on ``activations``."""
-        cycles = self.cycle_model.simulate_layer(layer, activations)
+        activations = require_vector("activations", activations)
+        cycles = self.session.run("cycle", layer, activations, config=self.config).stats
         dense_macs = layer.dense_weight_count
         performance = cycles.performance(dense_macs)
         functional: FunctionalResult | None = None
         if run_functional:
-            functional = FunctionalEIE(layer, self.config).run(activations)
+            functional = self.session.run(
+                "functional", layer, activations, config=self.config
+            ).functional[0]
             energy = self._energy_from_counters(functional, cycles)
         else:
             energy = self._energy_from_cycles(cycles)

@@ -22,6 +22,7 @@ Table III layers for every design-space sweep in the paper (Figures 8 and
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +33,13 @@ from repro.core.stats import LoadBalanceStats, PerformanceStats
 from repro.errors import SimulationError
 from repro.utils.validation import require_vector
 
-__all__ = ["CycleStats", "simulate_layer_cycles", "CycleAccurateEIE"]
+__all__ = [
+    "CycleStats",
+    "layer_work_matrices",
+    "simulate_layer_cycles",
+    "simulate_layer_cycles_batch",
+    "CycleAccurateEIE",
+]
 
 
 @dataclass
@@ -113,6 +120,31 @@ class CycleStats:
         )
 
 
+def layer_work_matrices(layer: CompressedLayer) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(PE, column) work and padding counts of a compressed layer.
+
+    Returns ``(counts, padding)``, both of shape ``(num_pes, num_cols)``:
+    ``counts[p, j]`` is the number of encoded entries PE ``p`` must retire
+    when column ``j`` is broadcast, and ``padding[p, j]`` how many of those
+    are padding zeros.  This is the layer-dependent (but activation- and
+    configuration-independent) half of the cycle model, shared by
+    :class:`CycleAccurateEIE` and the ``"cycle"`` engine adapter so a layer
+    only pays the extraction cost once per preparation.
+    """
+    counts = layer.storage.entries_per_pe_column()
+    padding = np.zeros_like(counts)
+    for pe, matrix in enumerate(layer.storage.per_pe):
+        # Per-column padding counts for this PE.
+        col_counts = matrix.column_entry_counts()
+        padding_values = matrix.values == 0.0
+        if padding_values.any():
+            col_ids = np.repeat(np.arange(matrix.num_cols), col_counts)
+            padding[pe, :] = np.bincount(
+                col_ids[padding_values], minlength=matrix.num_cols
+            )
+    return counts, padding
+
+
 def simulate_layer_cycles(
     work: np.ndarray,
     fifo_depth: int,
@@ -141,7 +173,11 @@ def simulate_layer_cycles(
         raise SimulationError("work counts must be non-negative")
     if fifo_depth < 1:
         raise SimulationError(f"fifo_depth must be >= 1, got {fifo_depth}")
+    if clock_mhz <= 0.0:
+        raise SimulationError(f"clock_mhz must be > 0, got {clock_mhz}")
     num_pes, num_broadcasts = work.shape
+    if num_pes == 0:
+        raise SimulationError("work must cover at least one PE (got an empty PE axis)")
     if padding_work is not None:
         padding_work = np.asarray(padding_work, dtype=np.int64)
         if padding_work.shape != work.shape:
@@ -152,7 +188,7 @@ def simulate_layer_cycles(
 
     busy = work.sum(axis=1)
     entries_total = int(busy.sum())
-    theoretical = entries_total / num_pes if num_pes else 0.0
+    theoretical = entries_total / num_pes
 
     if num_broadcasts == 0:
         return CycleStats(
@@ -200,6 +236,98 @@ def simulate_layer_cycles(
     )
 
 
+def simulate_layer_cycles_batch(
+    works: "list[np.ndarray]",
+    fifo_depth: int,
+    padding_totals: "Sequence[int] | None" = None,
+    clock_mhz: float = 800.0,
+) -> "list[CycleStats]":
+    """Run the broadcast/FIFO recurrence for many inputs at once.
+
+    Semantically identical to calling :func:`simulate_layer_cycles` on each
+    ``works[i]`` (the engine parity tests pin this element-wise), but the
+    recurrence advances every batch item per step with array operations: the
+    items are packed into one ``(batch, num_pes, max_broadcasts)`` tensor and
+    items shorter than the longest are masked out once finished.  For a batch
+    of ``n`` inputs of one layer this turns ``n x broadcasts`` Python-loop
+    iterations into ``max_broadcasts`` vectorised steps.
+
+    Args:
+        works: per-item work matrices, all with the same ``num_pes`` rows.
+        fifo_depth: activation queue depth ``D``.
+        padding_totals: optional per-item counts of padding-zero entries
+            among the touched columns (a total, not a matrix: the batched
+            path only reports the aggregate, and callers can derive it from
+            per-column padding sums without gathering full matrices).
+        clock_mhz: clock frequency for time conversion.
+    """
+    if fifo_depth < 1:
+        raise SimulationError(f"fifo_depth must be >= 1, got {fifo_depth}")
+    if clock_mhz <= 0.0:
+        raise SimulationError(f"clock_mhz must be > 0, got {clock_mhz}")
+    if padding_totals is not None and len(padding_totals) != len(works):
+        raise SimulationError("padding_totals must have one entry per work matrix")
+    if not works:
+        return []
+    arrays = [np.asarray(work, dtype=np.int64) for work in works]
+    for work in arrays:
+        if work.ndim != 2:
+            raise SimulationError(
+                f"work must be 2-D (num_pes, broadcasts), got shape {work.shape}"
+            )
+        if np.any(work < 0):
+            raise SimulationError("work counts must be non-negative")
+    num_pes = arrays[0].shape[0]
+    if num_pes == 0:
+        raise SimulationError("work must cover at least one PE (got an empty PE axis)")
+    if any(work.shape[0] != num_pes for work in arrays):
+        raise SimulationError("all work matrices of a batch must share the PE count")
+    if padding_totals is None:
+        padding_totals = [0] * len(arrays)
+
+    batch = len(arrays)
+    lengths = np.asarray([work.shape[1] for work in arrays], dtype=np.int64)
+    max_broadcasts = int(lengths.max())
+    packed = np.zeros((batch, num_pes, max_broadcasts), dtype=np.int64)
+    for index, work in enumerate(arrays):
+        packed[index, :, : work.shape[1]] = work
+
+    done = np.zeros((batch, num_pes), dtype=np.int64)
+    completion_history = np.zeros((fifo_depth, batch, num_pes), dtype=np.int64)
+    broadcast_time = np.zeros(batch, dtype=np.int64)
+    for b in range(max_broadcasts):
+        active = b < lengths
+        broadcast_time = broadcast_time + 1
+        if b >= fifo_depth:
+            oldest = completion_history[(b - fifo_depth) % fifo_depth]
+            broadcast_time = np.maximum(broadcast_time, oldest.max(axis=1))
+        start = np.maximum(done, broadcast_time[:, np.newaxis])
+        advanced = start + packed[:, :, b]
+        done = np.where(active[:, np.newaxis], advanced, done)
+        completion_history[b % fifo_depth] = done
+    totals = done.max(axis=1)
+
+    results: list[CycleStats] = []
+    for index, work in enumerate(arrays):
+        busy = work.sum(axis=1)
+        entries_total = int(busy.sum())
+        num_broadcasts = int(lengths[index])
+        results.append(
+            CycleStats(
+                total_cycles=int(totals[index]) if num_broadcasts else 0,
+                busy_cycles=busy,
+                broadcasts=num_broadcasts,
+                entries_processed=entries_total if num_broadcasts else 0,
+                padding_entries=int(padding_totals[index]) if num_broadcasts else 0,
+                theoretical_cycles=entries_total / num_pes if num_broadcasts else 0.0,
+                num_pes=num_pes,
+                fifo_depth=fifo_depth,
+                clock_mhz=clock_mhz,
+            )
+        )
+    return results
+
+
 class CycleAccurateEIE:
     """Cycle-level simulator facade operating on compressed layers.
 
@@ -230,17 +358,7 @@ class CycleAccurateEIE:
                 f"input size {layer.cols}"
             )
         nonzero_columns = np.nonzero(activations)[0]
-        counts = layer.storage.entries_per_pe_column()
-        padding = np.zeros_like(counts)
-        for pe, matrix in enumerate(layer.storage.per_pe):
-            # Per-column padding counts for this PE.
-            col_counts = matrix.column_entry_counts()
-            padding_values = matrix.values == 0.0
-            if padding_values.any():
-                col_ids = np.repeat(np.arange(matrix.num_cols), col_counts)
-                padding[pe, :] = np.bincount(
-                    col_ids[padding_values], minlength=matrix.num_cols
-                )
+        counts, padding = layer_work_matrices(layer)
         work = counts[:, nonzero_columns]
         padding_work = padding[:, nonzero_columns]
         return simulate_layer_cycles(

@@ -1,0 +1,197 @@
+"""Sessions: shared compression and preparation caches over the engine seam.
+
+A :class:`Session` is the stateful companion of the stateless engine
+registry.  It owns three keyed caches:
+
+* **compressed layers** — keyed by the weight matrix's content fingerprint
+  plus the compression parameters, PE count, name and non-linearity, so a
+  design-space sweep that revisits the same dense matrix (across FIFO
+  depths, clocks or repeated figure scripts) compresses it exactly once;
+* **prepared layers** — keyed by the layer's identity and the engine's
+  ``prepare_token()``, so e.g. the cycle engine's per-(PE, column) work
+  matrices are extracted once per layer and shared by every configuration
+  point with the same PE count;
+* **engine instances** — keyed by ``(engine name, configuration)``.
+
+Typical use::
+
+    session = Session(CompressionConfig(target_density=0.1))
+    layer = session.compress(weights, num_pes=64, name="fc6")
+    result = session.run("cycle", layer, activation_batch, config=EIEConfig())
+
+``Session.run`` is a convenience wrapping ``engine -> prepare -> run``; the
+individual steps remain available for callers that manage sweep loops
+themselves.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.compression.pipeline import (
+    CompressedLayer,
+    CompressionConfig,
+    DeepCompressor,
+    weights_fingerprint,
+)
+from repro.core.config import EIEConfig
+from repro.engine.base import EngineResult, PreparedLayer, SimulationEngine
+from repro.engine.registry import EngineRegistry
+from repro.errors import ConfigurationError
+from repro.utils.validation import require_matrix
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Shared caches for compressing, preparing and running layers.
+
+    Each cache is a bounded LRU (least recently *used*, not inserted):
+    compressed layers and the per-layer prepared state can pin substantial
+    memory (PE arrays, work matrices), so a long-lived session sweeping many
+    distinct layers evicts the coldest entries instead of growing forever.
+    Eviction is always safe — it only drops the cache's own reference; a
+    subsequent request recompresses/re-prepares.
+
+    Args:
+        compression: Deep Compression parameters used by :meth:`compress`.
+        config: default accelerator configuration for engine/prepare/run
+            calls that do not pass one explicitly.
+        registry: the engine registry to resolve backend names against
+            (the global :class:`EngineRegistry` by default; injectable for
+            tests and custom registries).
+        max_layers: compressed layers kept (LRU-evicted beyond this).
+        max_prepared: prepared layers kept across all engines.
+        max_engines: engine instances kept across all configurations.
+    """
+
+    def __init__(
+        self,
+        compression: CompressionConfig | None = None,
+        config: EIEConfig | None = None,
+        registry: type[EngineRegistry] = EngineRegistry,
+        max_layers: int = 128,
+        max_prepared: int = 512,
+        max_engines: int = 64,
+    ) -> None:
+        if min(max_layers, max_prepared, max_engines) < 1:
+            raise ConfigurationError("session cache bounds must be >= 1")
+        self.compressor = DeepCompressor(compression or CompressionConfig())
+        self.default_config = config or EIEConfig()
+        self.registry = registry
+        self._layer_cache: OrderedDict[tuple, CompressedLayer] = OrderedDict()
+        self._prepared_cache: OrderedDict[tuple, PreparedLayer] = OrderedDict()
+        self._engine_cache: OrderedDict[tuple, SimulationEngine] = OrderedDict()
+        self._bounds = {"layers": max_layers, "prepared": max_prepared, "engines": max_engines}
+        self._hits = {"layers": 0, "prepared": 0, "engines": 0}
+
+    def _cache_get(self, which: str, cache: OrderedDict, key: tuple) -> Any:
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+            self._hits[which] += 1
+        return value
+
+    def _cache_put(self, which: str, cache: OrderedDict, key: tuple, value: Any) -> None:
+        cache[key] = value
+        while len(cache) > self._bounds[which]:
+            cache.popitem(last=False)
+
+    # -- compression -------------------------------------------------------------
+
+    def compress(
+        self,
+        weights: np.ndarray,
+        num_pes: int,
+        name: str = "layer",
+        activation_name: str = "relu",
+    ) -> CompressedLayer:
+        """Compress ``weights`` for ``num_pes`` PEs, reusing any cached result.
+
+        The cache key is the content fingerprint of the weights together with
+        every parameter that shapes the compressed form, so a hit is exact:
+        the same :class:`CompressedLayer` object is returned.
+        """
+        weights = require_matrix("weights", weights)
+        key = (
+            weights_fingerprint(weights),
+            int(num_pes),
+            name,
+            activation_name,
+            self.compressor.config,
+        )
+        cached = self._cache_get("layers", self._layer_cache, key)
+        if cached is not None:
+            return cached
+        layer = self.compressor.compress(
+            weights, num_pes=int(num_pes), name=name, activation_name=activation_name
+        )
+        self._cache_put("layers", self._layer_cache, key, layer)
+        return layer
+
+    # -- engines and preparation ---------------------------------------------------
+
+    def engine(self, name: str, config: EIEConfig | None = None) -> SimulationEngine:
+        """A (cached) engine instance for ``name`` and ``config``."""
+        config = config or self.default_config
+        key = (name, config)
+        cached = self._cache_get("engines", self._engine_cache, key)
+        if cached is not None:
+            return cached
+        engine = self.registry.create(name, config)
+        self._cache_put("engines", self._engine_cache, key, engine)
+        return engine
+
+    def prepare(
+        self, name: str, layer: Any, config: EIEConfig | None = None
+    ) -> PreparedLayer:
+        """Prepare ``layer`` for engine ``name``, reusing compatible results.
+
+        Prepared layers are shared between configurations whose
+        ``prepare_token()`` matches — e.g. one ``"cycle"`` preparation serves
+        every FIFO depth and clock at the same PE count.
+        """
+        engine = self.engine(name, config)
+        # Keying on id() is safe because the cached PreparedLayer holds a
+        # strong reference to the layer (payload/source), so the id cannot
+        # be recycled while the entry is alive.
+        key = (id(layer), engine.prepare_token())
+        cached = self._cache_get("prepared", self._prepared_cache, key)
+        if cached is not None:
+            return cached
+        prepared = engine.prepare(layer)
+        self._cache_put("prepared", self._prepared_cache, key, prepared)
+        return prepared
+
+    def run(
+        self,
+        name: str,
+        layer: Any,
+        activations: np.ndarray | None = None,
+        config: EIEConfig | None = None,
+    ) -> EngineResult:
+        """Convenience: resolve the engine, prepare ``layer`` (cached), run."""
+        engine = self.engine(name, config)
+        prepared = self.prepare(name, layer, config)
+        return engine.run(prepared, activations)
+
+    # -- introspection -----------------------------------------------------------
+
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Entry and hit counts of the three caches (for tests and reports)."""
+        return {
+            "layers": {"entries": len(self._layer_cache), "hits": self._hits["layers"]},
+            "prepared": {"entries": len(self._prepared_cache), "hits": self._hits["prepared"]},
+            "engines": {"entries": len(self._engine_cache), "hits": self._hits["engines"]},
+        }
+
+    def clear(self) -> None:
+        """Drop every cached layer, prepared layer and engine instance."""
+        self._layer_cache.clear()
+        self._prepared_cache.clear()
+        self._engine_cache.clear()
+        for key in self._hits:
+            self._hits[key] = 0

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.compression.csc import DEFAULT_MAX_RUN, interleaved_entry_counts
 from repro.core.config import EIEConfig
-from repro.core.cycle_model import CycleStats, simulate_layer_cycles
+from repro.core.cycle_model import CycleStats
 from repro.errors import WorkloadError
 from repro.utils.rng import make_rng
 from repro.workloads.benchmarks import LayerSpec
@@ -80,17 +80,20 @@ class LayerWorkload:
         return self.work.sum(axis=1)
 
     def simulate(self, config: EIEConfig) -> CycleStats:
-        """Run the cycle-level timing model for this workload."""
+        """Run the cycle-level timing model for this workload.
+
+        Delegates to the ``"cycle"`` engine of :mod:`repro.engine` (imported
+        lazily — the engine adapters accept workloads, so a module-level
+        import would be circular).
+        """
+        from repro.engine import EngineRegistry
+
         if config.num_pes != self.num_pes:
             raise WorkloadError(
                 f"workload was built for {self.num_pes} PEs, configuration has {config.num_pes}"
             )
-        return simulate_layer_cycles(
-            work=self.work,
-            fifo_depth=config.fifo_depth,
-            padding_work=self.padding_work,
-            clock_mhz=config.clock_mhz,
-        )
+        engine = EngineRegistry.create("cycle", config)
+        return engine.run(engine.prepare(self)).stats
 
 
 class WorkloadBuilder:

@@ -33,6 +33,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_command_options(self):
+        args = build_parser().parse_args(
+            ["run", "--engine", "cycle", "--rows", "32", "--cols", "48", "--batch", "4"]
+        )
+        assert args.command == "run"
+        assert args.engine == "cycle"
+        assert (args.rows, args.cols, args.batch) == (32, 48, 4)
+
+    def test_run_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "verilog"])
+
 
 class TestStaticCommands:
     """Commands that do not build full-size workloads (fast enough for unit tests)."""
@@ -65,3 +77,20 @@ class TestStaticCommands:
     def test_codebook_ablation(self, capsys):
         assert main(["ablation", "codebook-bits"]) == 0
         assert "RMS error" in capsys.readouterr().out
+
+    def test_run_functional_engine(self, capsys):
+        assert main(["run", "--engine", "functional", "--rows", "24", "--cols", "36",
+                     "--pes", "4", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "functional" in out
+        assert "Matches dense reference" in out and "True" in out
+
+    def test_run_cycle_engine(self, capsys):
+        assert main(["run", "--engine", "cycle", "--rows", "24", "--cols", "36",
+                     "--pes", "4", "--batch", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Cycles (total)" in out
+
+    def test_run_rejects_bad_sizes(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--rows", "0", "--cols", "8", "--pes", "1"])

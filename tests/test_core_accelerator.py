@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.accelerator import EIEAccelerator
 from repro.core.config import EIEConfig
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 
 
 @pytest.fixture
@@ -78,6 +78,32 @@ class TestExecution:
         accelerator.compress_and_load(sparse_weights)
         with pytest.raises(SimulationError):
             accelerator.run_layer(3, dense_activations)
+
+    def test_run_batch_equals_per_row_runs(self, accelerator, rng):
+        accelerator.compress_and_load(_random_sparse(rng, (24, 40)), name="fc1")
+        accelerator.compress_and_load(_random_sparse(rng, (12, 24)), name="fc2")
+        batch = rng.uniform(0, 1, size=(5, 40))
+        batch[rng.random((5, 40)) >= 0.5] = 0.0
+        outputs = accelerator.run_batch(batch)
+        assert outputs.shape == (5, 12)
+        for row, output in zip(batch, outputs):
+            assert np.array_equal(output, accelerator.run(row)[-1].output)
+
+    def test_run_batch_requires_matrix_and_layers(self, accelerator, sparse_weights,
+                                                  dense_activations):
+        with pytest.raises(SimulationError):
+            accelerator.run_batch(np.zeros((2, 40)))  # no layers loaded
+        accelerator.compress_and_load(sparse_weights)
+        with pytest.raises(ReproError):
+            accelerator.run_batch(dense_activations)  # vector, not a matrix
+
+    def test_repeated_compression_hits_session_cache(self, accelerator, sparse_weights):
+        accelerator.compress_and_load(sparse_weights, name="fc")
+        accelerator.clear()
+        first = accelerator.session.cache_info()["layers"]
+        accelerator.compress_and_load(sparse_weights, name="fc")
+        second = accelerator.session.cache_info()["layers"]
+        assert second["hits"] == first["hits"] + 1
 
 
 class TestEstimation:

@@ -90,6 +90,18 @@ class TestSimulateLayerCycles:
         with pytest.raises(SimulationError):
             simulate_layer_cycles(np.array([[1]]), fifo_depth=2, padding_work=np.zeros((2, 2)))
 
+    def test_zero_pes_rejected(self):
+        # An empty PE axis used to silently report theoretical_cycles = 0.0.
+        with pytest.raises(SimulationError, match="at least one PE"):
+            simulate_layer_cycles(np.zeros((0, 5), dtype=int), fifo_depth=8)
+
+    def test_non_positive_clock_rejected(self):
+        work = np.array([[1, 2]])
+        with pytest.raises(SimulationError, match="clock_mhz"):
+            simulate_layer_cycles(work, fifo_depth=8, clock_mhz=0.0)
+        with pytest.raises(SimulationError, match="clock_mhz"):
+            simulate_layer_cycles(work, fifo_depth=8, clock_mhz=-800.0)
+
 
 class TestCycleAccurateEIE:
     def test_layer_simulation_consistent_with_functional_entries(

@@ -1,0 +1,178 @@
+"""Engine-adapter parity: the seam must not change a single bit.
+
+Three families of guarantees, mirroring the paper's simulator-versus-golden
+validation flow:
+
+* the ``"functional"`` and ``"cycle"`` adapters reproduce the legacy
+  :class:`FunctionalEIE` / :class:`CycleAccurateEIE` results bit-for-bit
+  (property-tested over random sparse layers and activations);
+* a batched ``run`` equals a loop of single-vector runs, element-wise;
+* the ``"rtl"`` adapter agrees with the functional values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.pipeline import CompressionConfig, DeepCompressor
+from repro.core.config import EIEConfig
+from repro.core.cycle_model import CycleAccurateEIE, CycleStats
+from repro.core.functional import FunctionalEIE
+from repro.engine import EngineRegistry
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+
+@st.composite
+def layer_and_activations(draw):
+    """A random compressed layer, its config, and a batch of activations."""
+    rows = draw(st.integers(4, 48))
+    cols = draw(st.integers(2, 32))
+    num_pes = draw(st.sampled_from((1, 2, 4)))
+    batch = draw(st.integers(1, 4))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(size=(rows, cols))
+    weights[rng.random((rows, cols)) >= draw(st.floats(0.05, 0.5))] = 0.0
+    weights[rng.integers(0, rows), rng.integers(0, cols)] = 1.0
+    layer = DeepCompressor(CompressionConfig()).compress(weights, num_pes=num_pes)
+    activations = rng.uniform(0.1, 1.0, size=(batch, cols))
+    activations[rng.random((batch, cols)) >= 0.5] = 0.0
+    return layer, EIEConfig(num_pes=num_pes), activations
+
+
+def assert_cycle_stats_equal(ours: CycleStats, legacy: CycleStats) -> None:
+    assert ours.total_cycles == legacy.total_cycles
+    assert np.array_equal(ours.busy_cycles, legacy.busy_cycles)
+    assert ours.broadcasts == legacy.broadcasts
+    assert ours.entries_processed == legacy.entries_processed
+    assert ours.padding_entries == legacy.padding_entries
+    assert ours.theoretical_cycles == legacy.theoretical_cycles
+    assert ours.num_pes == legacy.num_pes
+    assert ours.fifo_depth == legacy.fifo_depth
+    assert ours.clock_mhz == legacy.clock_mhz
+
+
+class TestFunctionalParity:
+    @SETTINGS
+    @given(case=layer_and_activations())
+    def test_engine_matches_legacy_bit_for_bit(self, case):
+        layer, config, activations = case
+        engine = EngineRegistry.create("functional", config)
+        result = engine.run(engine.prepare(layer), activations)
+        legacy = FunctionalEIE(layer, config)
+        for row, ours in zip(activations, result.functional):
+            reference = legacy.run(row)
+            assert np.array_equal(ours.output, reference.output)
+            assert np.array_equal(ours.pre_activation, reference.pre_activation)
+            assert ours.broadcasts == reference.broadcasts
+            assert ours.counters == reference.counters
+            assert np.array_equal(ours.per_pe_entries, reference.per_pe_entries)
+
+    def test_fixture_layer_matches(self, compressed_layer, small_config, dense_activations):
+        engine = EngineRegistry.create("functional", small_config)
+        result = engine.run(engine.prepare(compressed_layer), dense_activations)
+        legacy = FunctionalEIE(compressed_layer, small_config).run(dense_activations)
+        assert np.array_equal(result.output, legacy.output)
+
+
+class TestCycleParity:
+    @SETTINGS
+    @given(case=layer_and_activations())
+    def test_engine_matches_legacy_bit_for_bit(self, case):
+        layer, config, activations = case
+        engine = EngineRegistry.create("cycle", config)
+        result = engine.run(engine.prepare(layer), activations)
+        legacy = CycleAccurateEIE(config)
+        for row, ours in zip(activations, result.cycles):
+            assert_cycle_stats_equal(ours, legacy.simulate_layer(layer, row))
+
+    def test_fixture_layer_matches(self, compressed_layer, small_config, dense_activations):
+        engine = EngineRegistry.create("cycle", small_config)
+        result = engine.run(engine.prepare(compressed_layer), dense_activations)
+        assert_cycle_stats_equal(
+            result.stats, CycleAccurateEIE(small_config).simulate_layer(
+                compressed_layer, dense_activations
+            )
+        )
+
+
+class TestBatchedEqualsLoop:
+    @SETTINGS
+    @given(case=layer_and_activations())
+    def test_functional_batch(self, case):
+        layer, config, activations = case
+        engine = EngineRegistry.create("functional", config)
+        prepared = engine.prepare(layer)
+        batched = engine.run(prepared, activations)
+        assert batched.batch_size == activations.shape[0]
+        assert batched.batched
+        for index, row in enumerate(activations):
+            single = engine.run(prepared, row)
+            assert not single.batched
+            assert np.array_equal(batched.outputs[index], single.output)
+
+    @SETTINGS
+    @given(case=layer_and_activations())
+    def test_cycle_batch(self, case):
+        layer, config, activations = case
+        engine = EngineRegistry.create("cycle", config)
+        prepared = engine.prepare(layer)
+        batched = engine.run(prepared, activations)
+        assert len(batched.cycles) == activations.shape[0]
+        for index, row in enumerate(activations):
+            assert_cycle_stats_equal(batched.cycles[index], engine.run(prepared, row).stats)
+
+    def test_all_zero_row_in_batch(self, compressed_layer, small_config):
+        # A row with no non-zero activations broadcasts nothing: zero cycles.
+        batch = np.zeros((2, compressed_layer.cols))
+        batch[0, 3] = 0.5
+        engine = EngineRegistry.create("cycle", small_config)
+        result = engine.run(engine.prepare(compressed_layer), batch)
+        assert result.cycles[0].total_cycles > 0
+        assert result.cycles[1].total_cycles == 0
+        functional = EngineRegistry.create("functional", small_config)
+        outputs = functional.run(functional.prepare(compressed_layer), batch).outputs
+        assert np.array_equal(outputs[1], np.zeros(compressed_layer.rows))
+
+
+class TestRTLParity:
+    def test_rtl_matches_functional_values(self, compressed_layer, small_config,
+                                           dense_activations):
+        rtl = EngineRegistry.create("rtl", small_config)
+        functional = EngineRegistry.create("functional", small_config)
+        batch = np.stack([dense_activations, dense_activations * 0.5])
+        rtl_result = rtl.run(rtl.prepare(compressed_layer), batch)
+        functional_result = functional.run(functional.prepare(compressed_layer), batch)
+        assert np.allclose(rtl_result.outputs, functional_result.outputs)
+        per_item = rtl_result.extra["rtl"]
+        assert len(per_item) == 2
+        assert len(per_item[0]) == small_config.num_pes
+        # Every PE retired exactly its share of the processed entries.
+        total_retired = sum(r.entries_retired for r in per_item[0])
+        assert total_retired == functional_result.functional[0].total_entries_processed
+
+
+class TestWorkloadPath:
+    def test_workload_simulate_goes_through_engine(self, tiny_spec):
+        from repro.workloads.generator import WorkloadBuilder
+
+        builder = WorkloadBuilder()
+        workload = builder.build(tiny_spec, 4)
+        config = EIEConfig(num_pes=4)
+        stats = workload.simulate(config)
+        engine = EngineRegistry.create("cycle", config)
+        assert_cycle_stats_equal(stats, engine.run(engine.prepare(workload)).stats)
+
+    def test_workload_prepared_layer_rejects_activations(self, tiny_spec):
+        from repro.errors import SimulationError
+        from repro.workloads.generator import WorkloadBuilder
+
+        workload = WorkloadBuilder().build(tiny_spec, 4)
+        engine = EngineRegistry.create("cycle", EIEConfig(num_pes=4))
+        prepared = engine.prepare(workload)
+        with pytest.raises(SimulationError):
+            engine.run(prepared, np.ones(tiny_spec.cols))
