@@ -1,43 +1,33 @@
 """Ablations of EIE's design choices (beyond the paper's published figures).
 
 DESIGN.md calls out three decisions whose sensitivity is worth quantifying on
-the full-size benchmarks:
+the full-size benchmarks, each a registered experiment of
+:mod:`repro.experiments`:
 
-* the 4-bit relative index (padding zeros versus index storage);
-* the 16-entry (4-bit) shared-weight codebook (reconstruction error versus
-  weight storage);
-* the row-interleaved workload partitioning versus the column and 2-D block
-  alternatives of Section VII-A.
+* ``ablation_index_width`` — the 4-bit relative index (padding zeros versus
+  index storage);
+* ``ablation_codebook_bits`` — the 16-entry (4-bit) shared-weight codebook
+  (reconstruction error versus weight storage);
+* ``ablation_partitioning`` — the row-interleaved workload partitioning
+  versus the column and 2-D block alternatives of Section VII-A.
 """
 
 from __future__ import annotations
 
-from repro.analysis.ablation import (
-    codebook_bits_ablation,
-    index_width_ablation,
-    partitioning_ablation,
-)
-from repro.analysis.report import format_table
-
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_ablation_index_width(benchmark, builder, results_dir):
+def test_ablation_index_width(benchmark, runner, results_dir):
     """4-bit relative index: padding versus storage on Alex-7 (64 PEs)."""
-    points = benchmark.pedantic(
-        index_width_ablation,
-        kwargs={"benchmark": "Alex-7", "num_pes": 64, "builder": builder},
+    result = benchmark.pedantic(
+        runner.run,
+        args=("ablation_index_width",),
+        kwargs={"workloads": ("Alex-7",), "config": {"num_pes": 64}},
         rounds=1,
         iterations=1,
     )
-    text = "Relative-index width ablation (Alex-7, 64 PEs):\n"
-    text += format_table(
-        ["Index bits", "True non-zeros", "Padding zeros", "Padding fraction",
-         "Storage bits", "Bits per non-zero"],
-        [[p.index_bits, p.true_nonzeros, p.padding_zeros, p.padding_fraction,
-          p.storage_bits, p.bits_per_nonzero] for p in points],
-    )
-    save_report(results_dir, "ablation_index_width", text)
+    write_result(results_dir, result)
+    points = result.legacy()
 
     by_bits = {point.index_bits: point for point in points}
     paddings = [point.padding_zeros for point in points]
@@ -47,17 +37,17 @@ def test_ablation_index_width(benchmark, builder, results_dir):
     assert by_bits[4].storage_bits <= 1.05 * by_bits[best_bits].storage_bits
 
 
-def test_ablation_codebook_bits(benchmark, results_dir):
+def test_ablation_codebook_bits(benchmark, runner, results_dir):
     """16-entry codebook: reconstruction error versus weight bits."""
-    points = benchmark.pedantic(
-        codebook_bits_ablation, kwargs={"num_weights": 50_000}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        runner.run,
+        args=("ablation_codebook_bits",),
+        kwargs={"params": {"num_weights": 50_000}},
+        rounds=1,
+        iterations=1,
     )
-    text = "Shared-weight codebook ablation (Gaussian weight population):\n"
-    text += format_table(
-        ["Weight bits", "Entries", "RMS error", "Relative RMS error"],
-        [[p.weight_bits, p.codebook_entries, p.rms_error, p.relative_rms_error] for p in points],
-    )
-    save_report(results_dir, "ablation_codebook_bits", text)
+    write_result(results_dir, result)
+    points = result.legacy()
 
     errors = [point.rms_error for point in points]
     assert all(b <= a + 1e-12 for a, b in zip(errors, errors[1:]))
@@ -67,23 +57,17 @@ def test_ablation_codebook_bits(benchmark, results_dir):
     assert by_bits[2].rms_error > 2.0 * by_bits[4].rms_error
 
 
-def test_ablation_partitioning(benchmark, builder, results_dir):
+def test_ablation_partitioning(benchmark, runner, results_dir):
     """Section VII-A: the three workload-partitioning schemes on Alex-7."""
-    results = benchmark.pedantic(
-        partitioning_ablation,
-        kwargs={"benchmark": "Alex-7", "num_pes": 64, "builder": builder},
+    result = benchmark.pedantic(
+        runner.run,
+        args=("ablation_partitioning",),
+        kwargs={"workloads": ("Alex-7",), "config": {"num_pes": 64}},
         rounds=1,
         iterations=1,
     )
-    text = "Workload partitioning ablation (Alex-7, 64 PEs):\n"
-    text += format_table(
-        ["Strategy", "Total cycles", "Compute cycles", "Comm. cycles",
-         "Broadcast words", "Reduction words", "Load balance", "Idle PEs"],
-        [[name, r.total_cycles, r.compute_cycles, r.communication_cycles,
-          r.broadcast_words, r.reduction_words, r.load_balance_efficiency, r.idle_pes]
-         for name, r in results.items()],
-    )
-    save_report(results_dir, "ablation_partitioning", text)
+    write_result(results_dir, result)
+    results = {record["strategy"]: record for record in result.records}
 
     row = results["row-interleaved"]
     column = results["column"]
@@ -92,9 +76,9 @@ def test_ablation_partitioning(benchmark, builder, results_dir):
     # and fewer total cycles than the column scheme (which pays a full-length
     # cross-PE reduction).  The 2-D scheme is modelled without the CSC padding
     # overhead, so only its communication structure is compared.
-    assert row.reduction_words == 0
-    assert row.idle_pes == 0
-    assert row.total_cycles <= column.total_cycles
-    assert row.load_balance_efficiency >= 0.9
-    assert 0 < block.broadcast_words < row.broadcast_words
-    assert 0 < block.reduction_words < column.reduction_words
+    assert row["reduction_words"] == 0
+    assert row["idle_pes"] == 0
+    assert row["total_cycles"] <= column["total_cycles"]
+    assert row["load_balance_efficiency"] >= 0.9
+    assert 0 < block["broadcast_words"] < row["broadcast_words"]
+    assert 0 < block["reduction_words"] < column["reduction_words"]

@@ -19,15 +19,15 @@ import time
 
 import numpy as np
 
-from repro.analysis.report import format_table
 from repro.compression.pipeline import CompressionConfig
 from repro.core.config import EIEConfig
 from repro.core.cycle_model import CycleAccurateEIE
 from repro.core.functional import FunctionalEIE
 from repro.engine import EngineRegistry, Session
+from repro.experiments import ExperimentResult
 from repro.utils.rng import make_rng
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 #: AlexNet-FC-like layer (Alex-7 densities at half scale per dimension).
 ROWS, COLS = 2048, 2048
@@ -95,13 +95,19 @@ def test_engine_throughput_batched_vs_sequential(benchmark, results_dir):
     )
     assert len(result.cycles) == BATCH
 
-    rows = [
-        ["Layer", f"{ROWS} x {COLS} @ {WEIGHT_DENSITY:.0%} weights"],
-        ["Batch", BATCH],
-        ["Sequential (legacy) inf/s", f"{BATCH / sequential_s:.0f}"],
-        ["Batched (engine) inf/s", f"{BATCH / batched_s:.0f}"],
-        ["Speedup", f"{speedup:.1f}x"],
-    ]
-    save_report(results_dir, "engine_throughput",
-                "Engine throughput (cycle engine, batched vs sequential):\n"
-                + format_table(["Field", "Value"], rows))
+    perf = ExperimentResult.from_records(
+        "engine_throughput",
+        [
+            {
+                "layer": f"{ROWS} x {COLS} @ {WEIGHT_DENSITY:.0%} weights",
+                "batch": BATCH,
+                "sequential_inferences_per_s": BATCH / sequential_s,
+                "batched_inferences_per_s": BATCH / batched_s,
+                "speedup": speedup,
+            }
+        ],
+        engine="cycle",
+    )
+    write_result(results_dir, perf,
+                 extra="Contract: batched cycle simulation must be >= 5x faster "
+                       "than sequential legacy runs.")

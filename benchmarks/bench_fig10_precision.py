@@ -1,35 +1,28 @@
 """Figure 10: prediction accuracy and multiply energy versus arithmetic precision.
 
 Regenerates the accuracy-proxy / multiplier-energy trade-off for 32-bit
-float, 32-bit, 16-bit and 8-bit fixed point and checks the paper's
-conclusions: 16-bit fixed point costs ~5x less multiply energy than 32-bit
-fixed point and ~6x less than float while losing almost no accuracy, whereas
-8-bit fixed point collapses.
+float, 32-bit, 16-bit and 8-bit fixed point through the ``"fig10_precision"``
+experiment and checks the paper's conclusions: 16-bit fixed point costs ~5x
+less multiply energy than 32-bit fixed point and ~6x less than float while
+losing almost no accuracy, whereas 8-bit fixed point collapses.
 """
 
 from __future__ import annotations
 
-from repro.analysis.design_space import precision_study
-from repro.analysis.report import format_table
-
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_fig10_arithmetic_precision(benchmark, results_dir):
+def test_fig10_arithmetic_precision(benchmark, runner, results_dir):
     """Regenerate Figure 10."""
-    points = benchmark.pedantic(
-        precision_study, kwargs={"num_samples": 512}, rounds=1, iterations=1
+    result = benchmark.pedantic(
+        runner.run,
+        args=("fig10_precision",),
+        kwargs={"params": {"num_samples": 512}},
+        rounds=1,
+        iterations=1,
     )
-    by_precision = {point.precision: point for point in points}
-    text = "Arithmetic precision study (accuracy proxy and multiply energy):\n"
-    text += format_table(
-        ["Precision", "Accuracy", "Agreement with float", "Multiply energy (pJ)"],
-        [
-            [point.precision, point.accuracy, point.agreement_with_float, point.multiply_energy_pj]
-            for point in points
-        ],
-    )
-    save_report(results_dir, "fig10_precision", text)
+    write_result(results_dir, result)
+    by_precision = {point.precision: point for point in result.legacy()}
 
     float32 = by_precision["float32"]
     int16 = by_precision["int16"]

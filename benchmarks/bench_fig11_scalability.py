@@ -1,48 +1,28 @@
 """Figure 11: speedup versus number of PEs (1 to 256).
 
-Runs the PE-count sweep on all nine full-size benchmarks at FIFO depth 8 and
-checks the scalability conclusions: speedup is near-linear for the large
-layers (Alex/VGG) and saturates for NT-We, whose 600 rows spread too thinly
-over many PEs.
+Runs the ``"fig11_scalability"`` experiment (all nine full-size benchmarks at
+FIFO depth 8, PE counts 1-256) and checks the scalability conclusions:
+speedup is near-linear for the large layers (Alex/VGG) and saturates for
+NT-We, whose 600 rows spread too thinly over many PEs.
 
 Every sweep point is timed by the registry's ``"cycle"`` engine (one engine
-and one prepared workload per PE count; see :func:`repro.analysis.scalability.pe_sweep`).
+per PE count, preparations shared through the runner's session).
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.analysis.report import render_series
-from repro.analysis.scalability import DEFAULT_PE_COUNTS, pe_sweep
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-@pytest.fixture(scope="module")
-def sweep(builder):
-    """One PE sweep shared by the three scalability figures' benchmarks."""
-    return pe_sweep(DEFAULT_PE_COUNTS, BENCHMARK_NAMES, builder=builder)
-
-
-def test_fig11_scalability(benchmark, builder, sweep, results_dir):
+def test_fig11_scalability(benchmark, runner, results_dir):
     """Regenerate Figure 11."""
     result = benchmark.pedantic(
-        pe_sweep,
-        kwargs={"pe_counts": (1, 64), "benchmarks": ("Alex-7",), "builder": builder},
-        rounds=1,
-        iterations=1,
+        runner.run, args=("fig11_scalability",), rounds=1, iterations=1
     )
-    assert result["Alex-7"][-1].speedup_vs_1pe > 1.0
-
-    series = {
-        name: {point.num_pes: point.speedup_vs_1pe for point in sweep[name]}
-        for name in BENCHMARK_NAMES
-    }
-    text = "Speedup versus number of PEs (FIFO depth 8):\n"
-    text += render_series(series, x_label="# PEs")
-    save_report(results_dir, "fig11_scalability", text)
+    write_result(results_dir, result)
+    sweep = result.legacy()
 
     for name in BENCHMARK_NAMES:
         speedups = {point.num_pes: point.speedup_vs_1pe for point in sweep[name]}

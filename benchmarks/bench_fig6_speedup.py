@@ -1,33 +1,29 @@
 """Figure 6: speedup over CPU dense (batch 1) for all seven configurations.
 
 Regenerates the nine-benchmark x seven-configuration speedup chart plus the
-geometric mean, and checks the paper's qualitative claims: EIE wins on every
-benchmark, the geometric-mean speedup over the CPU is in the hundreds, the
-GPU sits in between, and compression alone (without EIE) buys only a few x.
-
-The EIE bar of every benchmark is produced by the ``"cycle"`` backend of
-:class:`repro.engine.EngineRegistry` (via :func:`repro.analysis.speedup`).
+geometric mean through the ``"fig6_speedup"`` experiment of
+:mod:`repro.experiments`, and checks the paper's qualitative claims: EIE wins
+on every benchmark, the geometric-mean speedup over the CPU is in the
+hundreds, the GPU sits in between, and compression alone (without EIE) buys
+only a few x.
 """
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table, render_series
-from repro.analysis.speedup import GEOMEAN_KEY, SPEEDUP_CONFIGS, speedup_table
+from repro.analysis.report import format_table
+from repro.analysis.speedup import GEOMEAN_KEY
 from repro.baselines.reference import PAPER_EIE_SPEEDUPS, PAPER_SPEEDUP_GEOMEAN
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_fig6_speedup_over_cpu(benchmark, builder, eie_config, results_dir):
+def test_fig6_speedup_over_cpu(benchmark, runner, results_dir):
     """Regenerate Figure 6."""
-    table = benchmark.pedantic(
-        speedup_table, kwargs={"builder": builder, "eie_config": eie_config}, rounds=1, iterations=1
-    )
-    series = {config: {name: table[name][config] for name in table} for config in SPEEDUP_CONFIGS}
-    text = "Speedup over CPU dense (batch 1):\n" + render_series(series, x_label="Benchmark")
-    text += "\n\nEIE speedups versus the paper (Figure 6, last group):\n"
-    text += format_table(
+    result = benchmark.pedantic(runner.run, args=("fig6_speedup",), rounds=1, iterations=1)
+    table = result.legacy()
+    extra = "EIE speedups versus the paper (Figure 6, last group):\n"
+    extra += format_table(
         ["Benchmark", "ours", "paper", "ratio"],
         [
             [name, table[name]["EIE"], PAPER_EIE_SPEEDUPS[name],
@@ -35,9 +31,9 @@ def test_fig6_speedup_over_cpu(benchmark, builder, eie_config, results_dir):
             for name in BENCHMARK_NAMES
         ],
     )
-    text += f"\n\nGeometric-mean EIE speedup: ours = {table[GEOMEAN_KEY]['EIE']:.0f}x, " \
-            f"paper = {PAPER_SPEEDUP_GEOMEAN['EIE']:.0f}x"
-    save_report(results_dir, "fig6_speedup", text)
+    extra += f"\n\nGeometric-mean EIE speedup: ours = {table[GEOMEAN_KEY]['EIE']:.0f}x, " \
+             f"paper = {PAPER_SPEEDUP_GEOMEAN['EIE']:.0f}x"
+    write_result(results_dir, result, extra=extra)
 
     geomean = table[GEOMEAN_KEY]
     # Shape checks, not exact matches.

@@ -1,38 +1,32 @@
 """Figure 7: energy efficiency over CPU dense (batch 1).
 
-Regenerates the energy-efficiency chart and checks the headline claims: EIE
-is several orders of magnitude more energy efficient than CPU/GPU/mGPU, and
-compression alone (on general-purpose hardware) only buys single-digit
-factors.
+Regenerates the energy-efficiency chart through the
+``"fig7_energy_efficiency"`` experiment of :mod:`repro.experiments` and
+checks the headline claims: EIE is several orders of magnitude more energy
+efficient than CPU/GPU/mGPU, and compression alone (on general-purpose
+hardware) only buys single-digit factors.
 """
 
 from __future__ import annotations
 
-from repro.analysis.energy_efficiency import energy_efficiency_table
-from repro.analysis.report import render_series
-from repro.analysis.speedup import GEOMEAN_KEY, SPEEDUP_CONFIGS
+from repro.analysis.speedup import GEOMEAN_KEY
 from repro.baselines.reference import PAPER_ENERGY_EFFICIENCY_GEOMEAN
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_fig7_energy_efficiency(benchmark, builder, eie_config, results_dir):
+def test_fig7_energy_efficiency(benchmark, runner, results_dir):
     """Regenerate Figure 7."""
-    table = benchmark.pedantic(
-        energy_efficiency_table,
-        kwargs={"builder": builder, "eie_config": eie_config},
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        runner.run, args=("fig7_energy_efficiency",), rounds=1, iterations=1
     )
-    series = {config: {name: table[name][config] for name in table} for config in SPEEDUP_CONFIGS}
-    text = "Energy efficiency over CPU dense (batch 1):\n"
-    text += render_series(series, x_label="Benchmark")
-    text += (
-        f"\n\nGeometric-mean EIE energy efficiency: ours = {table[GEOMEAN_KEY]['EIE']:.0f}x, "
+    table = result.legacy()
+    extra = (
+        f"Geometric-mean EIE energy efficiency: ours = {table[GEOMEAN_KEY]['EIE']:.0f}x, "
         f"paper = {PAPER_ENERGY_EFFICIENCY_GEOMEAN['EIE']:.0f}x"
     )
-    save_report(results_dir, "fig7_energy_efficiency", text)
+    write_result(results_dir, result, extra=extra)
 
     geomean = table[GEOMEAN_KEY]
     assert geomean["EIE"] > 5_000.0            # several orders of magnitude

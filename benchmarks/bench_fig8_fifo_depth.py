@@ -1,31 +1,26 @@
 """Figure 8: load-balance efficiency versus activation FIFO depth.
 
 Sweeps the queue depth from 1 to 256 on all nine full-size benchmarks at 64
-PEs and checks the paper's conclusions: efficiency improves monotonically
-with depth, a large fraction of cycles are idle at depth 1, and the marginal
-gain beyond depth 8 is small (which is why the paper picks 8).
+PEs through the ``"fig8_fifo_depth"`` experiment and checks the paper's
+conclusions: efficiency improves monotonically with depth, a large fraction
+of cycles are idle at depth 1, and the marginal gain beyond depth 8 is small
+(which is why the paper picks 8).
 """
 
 from __future__ import annotations
 
-from repro.analysis.design_space import DEFAULT_FIFO_DEPTHS, fifo_depth_sweep
-from repro.analysis.report import render_series
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_fig8_fifo_depth_sweep(benchmark, builder, results_dir):
+def test_fig8_fifo_depth_sweep(benchmark, runner, results_dir):
     """Regenerate Figure 8."""
-    sweep = benchmark.pedantic(
-        fifo_depth_sweep,
-        kwargs={"depths": DEFAULT_FIFO_DEPTHS, "builder": builder, "num_pes": 64},
-        rounds=1,
-        iterations=1,
+    result = benchmark.pedantic(
+        runner.run, args=("fig8_fifo_depth",), rounds=1, iterations=1
     )
-    text = "Load-balance efficiency versus FIFO depth (64 PEs):\n"
-    text += render_series(sweep, x_label="FIFO depth")
-    save_report(results_dir, "fig8_fifo_depth", text)
+    write_result(results_dir, result)
+    sweep = result.legacy()
 
     for name in BENCHMARK_NAMES:
         per_depth = sweep[name]

@@ -1,50 +1,37 @@
 """Figure 9: SRAM width versus read count, read energy and total energy.
 
 Sweeps the Spmat SRAM interface width from 32 to 512 bits on the AlexNet
-layers (the paper benchmarks this figure on AlexNet) and checks the design
-conclusion: the number of reads falls and the energy per read rises with
-width, and the total read energy is minimised at the 64-bit interface EIE
-uses.
+layers (the paper benchmarks this figure on AlexNet) through the
+``"fig9_sram_width"`` experiment and checks the design conclusion: the number
+of reads falls and the energy per read rises with width, and the total read
+energy is minimised at the 64-bit interface EIE uses.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.analysis.design_space import DEFAULT_SRAM_WIDTHS, sram_width_sweep
-from repro.analysis.report import format_table
-
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 #: The paper benchmarks Figure 9 on the AlexNet layers.
 ALEXNET_LAYERS = ("Alex-6", "Alex-7", "Alex-8")
 
 
-def test_fig9_sram_width_sweep(benchmark, builder, results_dir):
+def test_fig9_sram_width_sweep(benchmark, runner, results_dir):
     """Regenerate Figure 9 (both panels)."""
-    points = benchmark.pedantic(
-        sram_width_sweep,
-        kwargs={"widths": DEFAULT_SRAM_WIDTHS, "benchmarks": ALEXNET_LAYERS, "builder": builder,
-                "num_pes": 64},
+    result = benchmark.pedantic(
+        runner.run,
+        args=("fig9_sram_width",),
+        kwargs={"workloads": ALEXNET_LAYERS},
         rounds=1,
         iterations=1,
     )
-    rows = [
-        [point.benchmark, point.width_bits, point.num_reads, point.energy_per_read_pj,
-         point.total_energy_nj]
-        for point in points
-    ]
-    text = "Spmat SRAM width sweep (AlexNet layers, 64 PEs):\n"
-    text += format_table(
-        ["Layer", "Width (bits)", "# Reads", "Energy/read (pJ)", "Total energy (nJ)"], rows
-    )
+    write_result(results_dir, result)
+    points = result.legacy()
 
     combined: dict[int, float] = defaultdict(float)
     for point in points:
         combined[point.width_bits] += point.total_energy_nj
-    text += "\n\nTotal AlexNet Spmat read energy per width (nJ):\n"
-    text += format_table(["Width (bits)", "Total energy (nJ)"], sorted(combined.items()))
-    save_report(results_dir, "fig9_sram_width", text)
 
     # Reads fall monotonically and energy per read rises monotonically with width.
     for layer in ALEXNET_LAYERS:

@@ -1,26 +1,22 @@
 """Table I: energy per basic operation in a 45 nm process.
 
-Regenerates the operation/energy/relative-cost rows and checks the headline
-relationships the paper calls out (DRAM is three orders of magnitude more
-expensive than simple arithmetic and 128x more than SRAM).
+Regenerates the operation/energy/relative-cost rows through the
+``"table1_energy"`` experiment and checks the headline relationships the
+paper calls out (DRAM is three orders of magnitude more expensive than simple
+arithmetic and 128x more than SRAM).
 """
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.analysis.tables import table1_rows
 from repro.hardware.energy import ENERGY_TABLE_45NM
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_table1_energy_table(benchmark, results_dir):
+def test_table1_energy_table(benchmark, runner, results_dir):
     """Regenerate Table I."""
-    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
-    text = format_table(
-        ["Operation", "Energy [pJ]", "Relative Cost"],
-        [[row["operation"], row["energy_pj"], row["relative_cost"]] for row in rows],
-    )
-    save_report(results_dir, "table1_energy", text)
+    result = benchmark.pedantic(runner.run, args=("table1_energy",), rounds=1, iterations=1)
+    write_result(results_dir, result)
+    rows = result.records
     assert ENERGY_TABLE_45NM.dram_over_sram == 128.0
     assert rows[-1]["relative_cost"] > 1000.0

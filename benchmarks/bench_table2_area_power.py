@@ -1,33 +1,24 @@
 """Table II: implementation results of one EIE PE (power/area breakdown).
 
-Regenerates the per-component and per-module breakdown of one PE at 45 nm and
-the derived 64-PE chip totals (40.8 mm^2 / ~0.59 W).
+Regenerates the per-component and per-module breakdown of one PE at 45 nm
+through the ``"table2_area_power"`` experiment, plus the derived 64-PE chip
+totals (40.8 mm^2 / ~0.59 W).
 """
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.analysis.tables import table2_rows
 from repro.hardware.area import chip_area_mm2, chip_power_w, num_lnzd_units
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_table2_pe_breakdown(benchmark, results_dir):
+def test_table2_pe_breakdown(benchmark, runner, results_dir):
     """Regenerate Table II plus the chip-level totals quoted in Section VI."""
-    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
-    text = format_table(
-        ["Name", "Group", "Power (mW)", "Power (%)", "Area (um2)", "Area (%)"],
-        [
-            [row["name"], row.get("group", ""), row["power_mw"], row["power_pct"],
-             row["area_um2"], row["area_pct"]]
-            for row in rows
-        ],
-    )
-    text += "\n\n64-PE chip: area = {:.1f} mm^2, power = {:.3f} W, LNZD units = {}".format(
+    result = benchmark.pedantic(runner.run, args=("table2_area_power",), rounds=1, iterations=1)
+    extra = "64-PE chip: area = {:.1f} mm^2, power = {:.3f} W, LNZD units = {}".format(
         chip_area_mm2(64), chip_power_w(64), num_lnzd_units(64)
     )
-    save_report(results_dir, "table2_area_power", text)
+    write_result(results_dir, result, extra=extra)
     assert abs(chip_area_mm2(64) - 40.8) / 40.8 < 0.05
     assert abs(chip_power_w(64) - 0.59) / 0.59 < 0.05
     assert num_lnzd_units(64) == 21

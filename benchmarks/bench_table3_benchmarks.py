@@ -8,15 +8,14 @@ realised weight densities and activation densities match the specification
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.analysis.tables import table3_rows
 from repro.workloads.benchmarks import BENCHMARK_NAMES, get_benchmark
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_table3_benchmark_statistics(benchmark, builder, results_dir):
+def test_table3_benchmark_statistics(benchmark, runner, builder, results_dir):
     """Regenerate Table III and validate the synthetic workload statistics."""
-    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    result = benchmark.pedantic(runner.run, args=("table3_benchmarks",), rounds=1, iterations=1)
     realised = []
     for name in BENCHMARK_NAMES:
         spec = get_benchmark(name)
@@ -34,17 +33,9 @@ def test_table3_benchmark_statistics(benchmark, builder, results_dir):
         )
         assert abs(pattern.density - spec.weight_density) < 0.01
         assert abs(float((activations != 0).mean()) - spec.activation_density) < 0.03
-    text = format_table(
-        ["Layer", "Size", "Weight% (spec)", "Activation% (spec)", "FLOP%", "Description"],
-        [
-            [row["layer"], row["size"], row["weight_density"], row["activation_density"],
-             row["flop_fraction"], row["description"]]
-            for row in rows
-        ],
-    )
-    text += "\n\nRealised synthetic workload densities:\n"
-    text += format_table(
+    extra = "Realised synthetic workload densities:\n"
+    extra += format_table(
         ["Layer", "Size", "Weight% (spec)", "Weight% (realised)", "Act% (spec)", "Act% (realised)"],
         realised,
     )
-    save_report(results_dir, "table3_benchmarks", text)
+    write_result(results_dir, result, extra=extra)

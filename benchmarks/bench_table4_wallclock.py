@@ -1,8 +1,9 @@
 """Table IV: per-frame wall-clock time of CPU / GPU / mGPU / EIE.
 
 Regenerates every row of Table IV (dense and sparse kernels at batch 1 and
-64, plus EIE's theoretical and actual time) on the full-size Table III layers
-and compares the shape against the paper's measured numbers: EIE is within a
+64, plus EIE's theoretical and actual time) through the
+``"table4_wallclock"`` experiment on the full-size Table III layers and
+compares the shape against the paper's measured numbers: EIE is within a
 small factor of its published latency, and the batching/sparsity crossovers
 (sparse wins at batch 1, loses at batch 64) are preserved.
 """
@@ -10,40 +11,33 @@ small factor of its published latency, and the batching/sparsity crossovers
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.analysis.tables import table4_rows
 from repro.baselines.reference import PAPER_TABLE_IV_US
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_table4_wall_clock_times(benchmark, builder, eie_config, results_dir):
+def test_table4_wall_clock_times(benchmark, runner, results_dir):
     """Regenerate Table IV (all platforms, all nine benchmarks)."""
-    rows = benchmark.pedantic(
-        table4_rows, kwargs={"builder": builder, "eie_config": eie_config}, rounds=1, iterations=1
-    )
-    headers = ["Platform", "Batch", "Kernel"] + list(BENCHMARK_NAMES)
-    table_rows = [
-        [row["platform"], row["batch"], row["kernel"]] + [row[name] for name in BENCHMARK_NAMES]
-        for row in rows
-    ]
-    text = "Wall-clock time per frame in microseconds:\n"
-    text += format_table(headers, table_rows)
+    result = benchmark.pedantic(runner.run, args=("table4_wallclock",), rounds=1, iterations=1)
+    rows = result.records
 
     eie_actual = next(r for r in rows if r["platform"] == "EIE" and r["kernel"] == "actual")
-    eie_theoretical = next(r for r in rows if r["platform"] == "EIE" and r["kernel"] == "theoretical")
+    eie_theoretical = next(
+        r for r in rows if r["platform"] == "EIE" and r["kernel"] == "theoretical"
+    )
     paper_actual = PAPER_TABLE_IV_US["EIE"][(1, "actual")]
     comparison = [
         [name, eie_theoretical[name], eie_actual[name], paper_actual[name],
          eie_actual[name] / paper_actual[name]]
         for name in BENCHMARK_NAMES
     ]
-    text += "\n\nEIE versus the paper's published actual time:\n"
-    text += format_table(
+    extra = "EIE versus the paper's published actual time:\n"
+    extra += format_table(
         ["Layer", "ours theoretical (us)", "ours actual (us)", "paper actual (us)", "ratio"],
         comparison,
     )
-    save_report(results_dir, "table4_wallclock", text)
+    write_result(results_dir, result, extra=extra)
 
     for name in BENCHMARK_NAMES:
         # Shape check: our EIE latency lands within ~2x of the published value

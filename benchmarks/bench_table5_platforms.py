@@ -2,23 +2,24 @@
 
 Regenerates the throughput / area / power / efficiency comparison across
 CPU, GPU, mobile GPU, A-Eye, DaDianNao, TrueNorth and the two EIE
-configurations, and checks the headline claims: EIE (256 PE, 28 nm) has
-higher M x V throughput and about an order of magnitude better energy
-efficiency than DaDianNao.
+configurations through the ``"table5_platforms"`` experiment, and checks the
+headline claims: EIE (256 PE, 28 nm) has higher M x V throughput and about an
+order of magnitude better energy efficiency than DaDianNao.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import format_table
-from repro.analysis.tables import table5_rows
 
-from benchmarks.conftest import save_report
+from benchmarks.conftest import write_result
 
 
-def test_table5_platform_comparison(benchmark, builder, results_dir):
+def test_table5_platform_comparison(benchmark, runner, results_dir):
     """Regenerate Table V."""
-    rows = benchmark.pedantic(table5_rows, kwargs={"builder": builder}, rounds=1, iterations=1)
-    text = format_table(
+    result = benchmark.pedantic(runner.run, args=("table5_platforms",), rounds=1, iterations=1)
+    rows = result.records
+    extra = "Full platform detail:\n"
+    extra += format_table(
         ["Platform", "Type", "Tech (nm)", "Clock (MHz)", "Memory", "Quantization",
          "Area (mm2)", "Power (W)", "Throughput (fps)", "Area eff. (fps/mm2)",
          "Energy eff. (frames/J)"],
@@ -29,7 +30,7 @@ def test_table5_platform_comparison(benchmark, builder, results_dir):
             for row in rows
         ],
     )
-    save_report(results_dir, "table5_platforms", text)
+    write_result(results_dir, result, extra=extra)
 
     by_name = {row["platform"]: row for row in rows}
     eie64 = by_name["EIE (64PE, 45nm)"]

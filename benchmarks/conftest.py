@@ -1,11 +1,14 @@
 """Shared fixtures and reporting helpers for the benchmark harness.
 
 Every module under ``benchmarks/`` regenerates one table or figure of the
-paper at **full Table III scale** (no down-scaling).  The expensive part —
-generating the Bernoulli sparsity patterns of the nine benchmark layers — is
-shared across all modules through a session-scoped
-:class:`~repro.workloads.generator.WorkloadBuilder`, and every benchmark
-writes the rows/series it regenerates to ``results/<name>.txt`` so they can be
+paper at **full Table III scale** (no down-scaling) by running the
+corresponding registered experiment of :mod:`repro.experiments`.  The
+expensive part — generating the Bernoulli sparsity patterns of the nine
+benchmark layers — is shared across all modules through a session-scoped
+:class:`~repro.experiments.runner.ExperimentRunner` (one workload builder and
+one engine session), and every benchmark writes the result it regenerates to
+``results/<experiment>.txt`` **and** ``results/<experiment>.json`` through
+:meth:`~repro.experiments.result.ExperimentResult.write` so they can be
 compared against the paper (see EXPERIMENTS.md).
 """
 
@@ -16,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.config import EIEConfig
+from repro.experiments import ExperimentResult, ExperimentRunner
 from repro.workloads.generator import WorkloadBuilder
 
 #: Where the regenerated tables/figures are written.
@@ -26,6 +30,12 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 def builder() -> WorkloadBuilder:
     """One workload builder (and pattern cache) for the whole benchmark run."""
     return WorkloadBuilder()
+
+
+@pytest.fixture(scope="session")
+def runner(builder: WorkloadBuilder) -> ExperimentRunner:
+    """One experiment runner (builder + engine session) for all benchmarks."""
+    return ExperimentRunner(builder=builder)
 
 
 @pytest.fixture(scope="session")
@@ -41,8 +51,9 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
-def save_report(results_dir: Path, name: str, text: str) -> None:
-    """Write one regenerated table/figure to ``results/<name>.txt`` and echo it."""
-    path = results_dir / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n===== {name} =====\n{text}\n")
+def write_result(
+    results_dir: Path, result: ExperimentResult, extra: str | None = None
+) -> None:
+    """Write one result to ``results/<experiment>.{txt,json}`` and echo it."""
+    txt_path, _ = result.write(results_dir, extra=extra)
+    print(f"\n===== {result.experiment} =====\n{txt_path.read_text()}")

@@ -12,6 +12,12 @@ PEs.  This example runs all four sweeps on a subset of the full-scale
 benchmarks and prints the same trade-off curves, ending with the design point
 the data selects.
 
+The sweep functions used here (`fifo_depth_sweep`, `sram_width_sweep`,
+`precision_study`, `pe_sweep`) are thin shims over the declarative
+experiments `fig8_fifo_depth`, `fig9_sram_width`, `fig10_precision` and
+`fig11_scalability` — see examples/declarative_experiments.py for driving
+the same sweeps from JSON specs with `--jobs N` concurrency.
+
 Run with:  python examples/design_space_exploration.py
 """
 

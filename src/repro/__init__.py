@@ -53,6 +53,15 @@ from repro.engine import (
     SimulationEngine,
     register_engine,
 )
+from repro.experiments import (
+    Experiment,
+    ExperimentRegistry,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    register_experiment,
+    run_experiment,
+)
 from repro.hardware import ENERGY_TABLE_45NM, EnergyModel, PEAreaModel
 from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
@@ -74,6 +83,11 @@ __all__ = [
     "EnergyModel",
     "EngineRegistry",
     "EngineResult",
+    "Experiment",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
     "FeedForwardNetwork",
     "FullyConnectedLayer",
     "FunctionalEIE",
@@ -92,4 +106,6 @@ __all__ = [
     "__version__",
     "prune_to_density",
     "register_engine",
+    "register_experiment",
+    "run_experiment",
 ]

@@ -16,12 +16,11 @@ them and assert the direction of the trade-off.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compression.csc import interleaved_entry_counts
 from repro.compression.quantization import WeightCodebook
 from repro.core.partitioning import PartitioningResult, compare_strategies
 from repro.utils.rng import make_rng
@@ -33,6 +32,8 @@ __all__ = [
     "index_width_ablation",
     "CodebookBitsPoint",
     "codebook_bits_ablation",
+    "codebook_bits_point",
+    "codebook_population",
     "partitioning_ablation",
 ]
 
@@ -74,30 +75,21 @@ def index_width_ablation(
     Narrow indices (2-3 bits) force many padding zeros on sparse layers; wide
     indices (6-8 bits) make every entry more expensive.  The paper's 4 bits
     is the sweet spot for ~10%-dense matrices interleaved over 64 PEs.
+
+    Back-compat shim over the ``"ablation_index_width"`` experiment of
+    :mod:`repro.experiments`.
     """
-    builder = builder or WorkloadBuilder()
-    spec = resolve_spec(benchmark)
-    pattern = builder.pattern(spec)
-    points: list[IndexWidthPoint] = []
-    for bits in index_bits_options:
-        max_run = 2**int(bits) - 1
-        counts, padding = interleaved_entry_counts(
-            pattern.row_indices, pattern.col_ptr, spec.rows, num_pes, max_run=max_run
-        )
-        total_entries = int(counts.sum())
-        padding_zeros = int(padding.sum())
-        storage_bits = total_entries * (weight_bits + int(bits))
-        storage_bits += num_pes * (spec.cols + 1) * pointer_bits
-        points.append(
-            IndexWidthPoint(
-                benchmark=spec.name,
-                index_bits=int(bits),
-                true_nonzeros=total_entries - padding_zeros,
-                padding_zeros=padding_zeros,
-                storage_bits=storage_bits,
-            )
-        )
-    return points
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "ablation_index_width",
+        builder=builder,
+        workloads=(resolve_spec(benchmark),),
+        grid={"index_bits": tuple(int(bits) for bits in index_bits_options)},
+        config={"num_pes": int(num_pes)},
+        params={"weight_bits": int(weight_bits), "pointer_bits": int(pointer_bits)},
+    )
+    return result.legacy()
 
 
 @dataclass(frozen=True)
@@ -111,6 +103,40 @@ class CodebookBitsPoint:
     weight_storage_bits_per_nonzero: float
 
 
+def codebook_population(num_weights: int, seed: int) -> tuple[np.ndarray, float]:
+    """The Gaussian weight population the codebook ablation quantizes.
+
+    Returns the non-zero weights and the normalisation scale (their standard
+    deviation); shared by the legacy function and the
+    ``"ablation_codebook_bits"`` experiment.
+    """
+    rng = make_rng(seed)
+    weights = rng.normal(0.0, 0.05, size=num_weights)
+    return _nonzero_weights_and_scale(weights)
+
+
+def _nonzero_weights_and_scale(weights: np.ndarray) -> tuple[np.ndarray, float]:
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    weights = weights[weights != 0.0]
+    scale = float(np.std(weights)) or 1.0
+    return weights, scale
+
+
+def codebook_bits_point(
+    nonzero_weights: np.ndarray, scale: float, bits: int, seed: int
+) -> CodebookBitsPoint:
+    """Fit one codebook size and measure its reconstruction error."""
+    codebook = WeightCodebook.fit(nonzero_weights, index_bits=int(bits), rng=make_rng(seed))
+    error = codebook.quantization_error(nonzero_weights)
+    return CodebookBitsPoint(
+        weight_bits=int(bits),
+        codebook_entries=codebook.size,
+        rms_error=error,
+        relative_rms_error=error / scale,
+        weight_storage_bits_per_nonzero=float(bits),
+    )
+
+
 def codebook_bits_ablation(
     weights: np.ndarray | None = None,
     weight_bits_options: Sequence[int] = (2, 3, 4, 5, 6, 8),
@@ -122,27 +148,26 @@ def codebook_bits_ablation(
     The paper fixes 4 bits (16 entries); this ablation quantifies the
     reconstruction error of smaller and larger codebooks on a Gaussian weight
     population (or on user-provided weights).
+
+    The default (generated) population delegates to the
+    ``"ablation_codebook_bits"`` experiment of :mod:`repro.experiments`;
+    explicit ``weights`` (which a JSON spec cannot carry) run the same
+    per-point primitive directly.
     """
     if weights is None:
-        rng = make_rng(seed)
-        weights = rng.normal(0.0, 0.05, size=num_weights)
-    weights = np.asarray(weights, dtype=np.float64).ravel()
-    weights = weights[weights != 0.0]
-    scale = float(np.std(weights)) or 1.0
-    points: list[CodebookBitsPoint] = []
-    for bits in weight_bits_options:
-        codebook = WeightCodebook.fit(weights, index_bits=int(bits), rng=make_rng(seed))
-        error = codebook.quantization_error(weights)
-        points.append(
-            CodebookBitsPoint(
-                weight_bits=int(bits),
-                codebook_entries=codebook.size,
-                rms_error=error,
-                relative_rms_error=error / scale,
-                weight_storage_bits_per_nonzero=float(bits),
-            )
+        from repro.experiments import run_experiment
+
+        result = run_experiment(
+            "ablation_codebook_bits",
+            grid={"weight_bits": tuple(int(bits) for bits in weight_bits_options)},
+            params={"num_weights": int(num_weights)},
+            seed=int(seed),
         )
-    return points
+        return result.legacy()
+    nonzero, scale = _nonzero_weights_and_scale(weights)
+    return [
+        codebook_bits_point(nonzero, scale, int(bits), seed) for bits in weight_bits_options
+    ]
 
 
 def partitioning_ablation(

@@ -17,14 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import EIEConfig
-from repro.engine import EngineRegistry
-from repro.hardware.energy import multiply_energy_pj
-from repro.hardware.sram import sram_read_energy_pj
-from repro.nn.fixed_point import FORMATS, FixedPointFormat
+from repro.nn.fixed_point import FixedPointFormat
 from repro.nn.layers import FullyConnectedLayer
 from repro.nn.model import FeedForwardNetwork
-from repro.utils.rng import make_rng
 from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
 from repro.workloads.generator import WorkloadBuilder
 
@@ -55,24 +50,21 @@ def fifo_depth_sweep(
 ) -> dict[str, dict[int, float]]:
     """Figure 8: load-balance efficiency per benchmark and FIFO depth.
 
-    The sweep runs through the ``"cycle"`` engine of the registry: each
-    benchmark's workload is prepared once and shared by every depth point
-    (the prepared work matrices depend only on the PE count).
+    Back-compat shim over the ``"fig8_fifo_depth"`` experiment of
+    :mod:`repro.experiments`: each benchmark's workload is prepared once in
+    the run's session and shared by every depth point (the prepared work
+    matrices depend only on the PE count).
     """
-    builder = builder or WorkloadBuilder()
-    results: dict[str, dict[int, float]] = {}
-    for benchmark in benchmarks:
-        spec = resolve_spec(benchmark)
-        workload = builder.build(spec, num_pes)
-        base_config = EIEConfig(num_pes=num_pes, clock_mhz=clock_mhz)
-        prepared = EngineRegistry.create("cycle", base_config).prepare(workload)
-        per_depth: dict[int, float] = {}
-        for depth in depths:
-            config = EIEConfig(num_pes=num_pes, fifo_depth=int(depth), clock_mhz=clock_mhz)
-            stats = EngineRegistry.create("cycle", config).run(prepared).stats
-            per_depth[int(depth)] = stats.load_balance_efficiency
-        results[spec.name] = per_depth
-    return results
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fig8_fifo_depth",
+        builder=builder,
+        workloads=[resolve_spec(benchmark) for benchmark in benchmarks],
+        grid={"fifo_depth": tuple(int(depth) for depth in depths)},
+        config={"num_pes": int(num_pes), "clock_mhz": float(clock_mhz)},
+    )
+    return result.legacy()
 
 
 @dataclass(frozen=True)
@@ -105,25 +97,17 @@ def sram_width_sweep(
     entry_bits))`` reads, so wide interfaces waste reads on short columns —
     the effect that makes 64 bits the optimum.
     """
-    builder = builder or WorkloadBuilder()
-    points: list[SramWidthPoint] = []
-    for benchmark in benchmarks:
-        spec = resolve_spec(benchmark)
-        workload = builder.build(spec, num_pes)
-        work = workload.work
-        for width in widths:
-            entries_per_read = max(1, int(width) // entry_bits)
-            reads = int(np.ceil(work / entries_per_read).sum())
-            energy = sram_read_energy_pj(int(width), spmat_sram_kb)
-            points.append(
-                SramWidthPoint(
-                    benchmark=spec.name,
-                    width_bits=int(width),
-                    num_reads=reads,
-                    energy_per_read_pj=energy,
-                )
-            )
-    return points
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fig9_sram_width",
+        builder=builder,
+        workloads=[resolve_spec(benchmark) for benchmark in benchmarks],
+        grid={"width_bits": tuple(int(width) for width in widths)},
+        config={"num_pes": int(num_pes)},
+        params={"spmat_sram_kb": float(spmat_sram_kb), "entry_bits": int(entry_bits)},
+    )
+    return result.legacy()
 
 
 @dataclass(frozen=True)
@@ -187,26 +171,18 @@ def precision_study(
     quantisation-induced accuracy loss).  The multiply energies come from the
     Table I-derived figures quoted in the paper.
     """
-    rng = make_rng(seed)
-    network = _build_proxy_classifier(input_size, hidden_size, classes, rng)
-    inputs = rng.normal(0.0, 1.0, size=(num_samples, input_size))
-    reference_predictions = np.array(
-        [int(np.argmax(_quantized_forward(network, sample, None))) for sample in inputs]
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fig10_precision",
+        grid={"precision": tuple(str(precision) for precision in precisions)},
+        params={
+            "num_samples": int(num_samples),
+            "input_size": int(input_size),
+            "hidden_size": int(hidden_size),
+            "classes": int(classes),
+            "reference_accuracy": float(reference_accuracy),
+        },
+        seed=int(seed),
     )
-    points: list[PrecisionPoint] = []
-    for precision in precisions:
-        fmt = FORMATS[precision]
-        predictions = np.array(
-            [int(np.argmax(_quantized_forward(network, sample, fmt))) for sample in inputs]
-        )
-        agreement = float(np.mean(predictions == reference_predictions))
-        accuracy = reference_accuracy * agreement
-        points.append(
-            PrecisionPoint(
-                precision=precision,
-                accuracy=accuracy,
-                multiply_energy_pj=multiply_energy_pj(precision),
-                agreement_with_float=agreement,
-            )
-        )
-    return points
+    return result.legacy()

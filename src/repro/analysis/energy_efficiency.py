@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.analysis.report import geometric_mean
-from repro.analysis.speedup import GEOMEAN_KEY, SPEEDUP_CONFIGS
 from repro.baselines.roofline import RooflinePlatform
 from repro.baselines.specs import CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1
 from repro.core.config import EIEConfig
@@ -59,18 +57,17 @@ def energy_efficiency_table(
     Returns ``{benchmark: {configuration: efficiency}}`` plus a ``"Geo Mean"``
     entry; efficiency is CPU-dense energy divided by the configuration's
     energy (larger is better).
+
+    Back-compat shim over the ``"fig7_energy_efficiency"`` experiment of
+    :mod:`repro.experiments`.
     """
-    builder = builder or WorkloadBuilder()
-    table: dict[str, dict[str, float]] = {}
-    for benchmark in benchmarks:
-        spec = resolve_spec(benchmark)
-        energies = layer_energies(spec, builder, eie_config, batch)
-        baseline = energies["CPU Dense"]
-        table[spec.name] = {name: baseline / energies[name] for name in SPEEDUP_CONFIGS}
-    table[GEOMEAN_KEY] = {
-        name: geometric_mean(
-            [table[benchmark][name] for benchmark in table if benchmark != GEOMEAN_KEY]
-        )
-        for name in SPEEDUP_CONFIGS
-    }
-    return table
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fig7_energy_efficiency",
+        builder=builder,
+        workloads=[resolve_spec(benchmark) for benchmark in benchmarks],
+        config=eie_config,
+        params={"batch": int(batch)},
+    )
+    return result.legacy()

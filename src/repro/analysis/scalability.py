@@ -16,8 +16,6 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.core.config import EIEConfig
-from repro.engine import EngineRegistry
 from repro.workloads.benchmarks import BENCHMARK_NAMES, LayerSpec, resolve_spec
 from repro.workloads.generator import WorkloadBuilder
 
@@ -59,32 +57,19 @@ def pe_sweep(
 
     Returns one list of :class:`ScalabilityPoint` per benchmark, ordered by
     PE count.  The speedup is measured against the smallest PE count in the
-    sweep (the paper uses 1 PE).  Timing runs through the registry's
-    ``"cycle"`` engine (one engine and preparation per PE count).
+    sweep (the paper uses 1 PE).
+
+    Back-compat shim over the ``"fig11_scalability"`` experiment of
+    :mod:`repro.experiments` (timing runs through the registry's ``"cycle"``
+    engine, one preparation per PE count, shared in the run's session).
     """
-    builder = builder or WorkloadBuilder()
-    results: dict[str, list[ScalabilityPoint]] = {}
-    for benchmark in benchmarks:
-        spec = resolve_spec(benchmark)
-        points: list[ScalabilityPoint] = []
-        baseline_cycles: int | None = None
-        for num_pes in pe_counts:
-            workload = builder.build(spec, int(num_pes))
-            config = EIEConfig(num_pes=int(num_pes), fifo_depth=fifo_depth, clock_mhz=clock_mhz)
-            engine = EngineRegistry.create("cycle", config)
-            stats = engine.run(engine.prepare(workload)).stats
-            if baseline_cycles is None:
-                baseline_cycles = stats.total_cycles
-            speedup = baseline_cycles / stats.total_cycles if stats.total_cycles else 0.0
-            points.append(
-                ScalabilityPoint(
-                    benchmark=spec.name,
-                    num_pes=int(num_pes),
-                    total_cycles=stats.total_cycles,
-                    speedup_vs_1pe=speedup,
-                    load_balance_efficiency=stats.load_balance_efficiency,
-                    real_work_fraction=workload.real_work_fraction,
-                )
-            )
-        results[spec.name] = points
-    return results
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fig11_scalability",
+        builder=builder,
+        workloads=[resolve_spec(benchmark) for benchmark in benchmarks],
+        grid={"num_pes": tuple(int(num_pes) for num_pes in pe_counts)},
+        config={"fifo_depth": int(fifo_depth), "clock_mhz": float(clock_mhz)},
+    )
+    return result.legacy()

@@ -10,9 +10,8 @@ resulting speedups relative to CPU dense.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable
 
-from repro.analysis.report import geometric_mean
 from repro.baselines.roofline import RooflinePlatform
 from repro.baselines.specs import CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1
 from repro.core.config import EIEConfig
@@ -77,16 +76,17 @@ def speedup_table(
 
     Returns ``{benchmark: {configuration: speedup}}`` plus a ``"Geo Mean"``
     entry aggregating over the benchmarks.
+
+    Back-compat shim over the ``"fig6_speedup"`` experiment of
+    :mod:`repro.experiments`.
     """
-    builder = builder or WorkloadBuilder()
-    table: dict[str, dict[str, float]] = {}
-    for benchmark in benchmarks:
-        spec = resolve_spec(benchmark)
-        times = layer_times(spec, builder, eie_config, batch)
-        baseline = times["CPU Dense"]
-        table[spec.name] = {name: baseline / times[name] for name in SPEEDUP_CONFIGS}
-    table[GEOMEAN_KEY] = {
-        name: geometric_mean([table[benchmark][name] for benchmark in table if benchmark != GEOMEAN_KEY])
-        for name in SPEEDUP_CONFIGS
-    }
-    return table
+    from repro.experiments import run_experiment
+
+    result = run_experiment(
+        "fig6_speedup",
+        builder=builder,
+        workloads=[resolve_spec(benchmark) for benchmark in benchmarks],
+        config=eie_config,
+        params={"batch": int(batch)},
+    )
+    return result.legacy()

@@ -1,6 +1,9 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: one spec-driven entry point for the whole evaluation.
 
-Usage (after installing the package)::
+Every table, figure and ablation of the paper is a registered experiment of
+:mod:`repro.experiments`; the classic ``table``/``figure``/``ablation``
+commands are thin aliases that build the corresponding spec, and the
+``experiment`` command exposes the registry directly::
 
     python -m repro.cli table 1                        # Table I
     python -m repro.cli table 4 --pes 64               # Table IV on 64 PEs
@@ -10,39 +13,70 @@ Usage (after installing the package)::
     python -m repro.cli summary                        # headline configuration
     python -m repro.cli run --engine cycle --rows 256 --cols 512 --batch 8
 
+    python -m repro.cli experiment list
+    python -m repro.cli experiment describe fig8_fifo_depth
+    python -m repro.cli experiment run fig8_fifo_depth --jobs 4
+    python -m repro.cli experiment run --spec spec.json --results-dir results
+    python -m repro.cli experiment run fig11_scalability \
+        --set scale=64 --set "grid.num_pes=[1,8]" --set workloads=Alex-7
+
 Figures 6-13 and Tables IV-V generate the full-size Table III workloads, so
-the first invocation in a process takes tens of seconds; the benchmark
-harness (``pytest benchmarks/ --benchmark-only``) shares one cache across all
-of them and is the faster way to regenerate everything at once.
+the first invocation in a process takes tens of seconds; pass ``--scale N``
+(or ``--set scale=N``) to run proportionally smaller layers, or use the
+benchmark harness (``pytest benchmarks/ --benchmark-only``), which shares one
+cache across all of them.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from collections import defaultdict
 from collections.abc import Sequence
+from pathlib import Path
 
-from repro.analysis.ablation import (
-    codebook_bits_ablation,
-    index_width_ablation,
-    partitioning_ablation,
-)
-from repro.analysis.design_space import fifo_depth_sweep, precision_study, sram_width_sweep
-from repro.analysis.energy_efficiency import energy_efficiency_table
-from repro.analysis.report import format_table, render_series
-from repro.analysis.scalability import pe_sweep
-from repro.analysis.speedup import speedup_table
-from repro.analysis.tables import table1_rows, table2_rows, table3_rows, table4_rows, table5_rows
+from repro.analysis.report import format_table
 from repro.compression.pipeline import CompressionConfig
 from repro.core.config import EIEConfig
 from repro.engine import EngineRegistry, Session
+from repro.errors import ReproError
+from repro.experiments import ExperimentRegistry, ExperimentRunner, ExperimentSpec
 from repro.hardware.area import chip_area_mm2, chip_power_w
 from repro.utils.rng import make_rng
 from repro.workloads.benchmarks import BENCHMARK_NAMES
-from repro.workloads.generator import WorkloadBuilder
 
 __all__ = ["main", "build_parser"]
+
+#: Legacy command aliases onto the experiment registry.
+TABLE_EXPERIMENTS = {
+    1: "table1_energy",
+    2: "table2_area_power",
+    3: "table3_benchmarks",
+    4: "table4_wallclock",
+    5: "table5_platforms",
+}
+FIGURE_EXPERIMENTS = {
+    6: "fig6_speedup",
+    7: "fig7_energy_efficiency",
+    8: "fig8_fifo_depth",
+    9: "fig9_sram_width",
+    10: "fig10_precision",
+    11: "fig11_scalability",
+    12: "fig12_padding_zeros",
+    13: "fig13_load_balance",
+}
+ABLATION_EXPERIMENTS = {
+    "index-width": "ablation_index_width",
+    "codebook-bits": "ablation_codebook_bits",
+    "partitioning": "ablation_partitioning",
+}
+
+def _subcommands(parser: argparse.ArgumentParser) -> tuple[str, ...]:
+    """The parser's top-level command names (for the unknown-command hint)."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return tuple(action.choices)
+    return ()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,9 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BENCHMARK_NAMES),
         help="subset of Table III benchmarks to run",
     )
+    common.add_argument(
+        "--scale", type=float, default=None,
+        help="down-scale the benchmark layers by this factor (fast smoke runs)",
+    )
     parser = argparse.ArgumentParser(
         prog="repro-eie",
         description="Regenerate the tables, figures and ablations of the EIE paper.",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -99,119 +142,158 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--batch", type=int, default=1, help="number of input vectors")
     run_parser.add_argument("--seed", type=int, default=0, help="RNG seed for the synthetic data")
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="list, describe or run declarative experiments"
+    )
+    experiment_sub = experiment_parser.add_subparsers(dest="experiment_command", required=True)
+    experiment_sub.add_parser("list", help="list every registered experiment")
+    describe_parser = experiment_sub.add_parser(
+        "describe", help="show one experiment's description and default spec"
+    )
+    describe_parser.add_argument("name", help="registered experiment name")
+    exp_run_parser = experiment_sub.add_parser(
+        "run", help="run one experiment from its name or a JSON spec file"
+    )
+    exp_run_parser.add_argument(
+        "name", nargs="?", default=None, help="registered experiment name"
+    )
+    exp_run_parser.add_argument(
+        "--spec", type=str, default=None, metavar="FILE",
+        help="JSON spec file (see 'experiment describe' for the shape)",
+    )
+    exp_run_parser.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="override one spec field (e.g. scale=64, config.num_pes=16, "
+             "grid.fifo_depth=[1,8], workloads=Alex-6,NT-We)",
+    )
+    exp_run_parser.add_argument(
+        "--jobs", type=int, default=1, help="run grid points on N worker threads"
+    )
+    exp_run_parser.add_argument(
+        "--results-dir", type=str, default=None, metavar="DIR",
+        help="also write <experiment>.txt and <experiment>.json under DIR",
+    )
     return parser
 
 
-def _config(args: argparse.Namespace) -> EIEConfig:
-    return EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
+def _config(args: argparse.Namespace) -> dict[str, object]:
+    return {"num_pes": args.pes, "fifo_depth": args.fifo_depth}
 
 
-def _run_table(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
-    number = args.number
-    if number == 1:
-        rows = table1_rows()
-        return format_table(
-            ["Operation", "Energy [pJ]", "Relative cost"],
-            [[r["operation"], r["energy_pj"], r["relative_cost"]] for r in rows],
+def _runner(jobs: int = 1) -> ExperimentRunner:
+    return ExperimentRunner(jobs=jobs)
+
+
+def _note_scale_ignored(args: argparse.Namespace, name: str) -> None:
+    if args.scale is not None:
+        print(
+            f"repro-eie: note: --scale has no effect on {name} "
+            "(its workload selection is fixed)",
+            file=sys.stderr,
         )
-    if number == 2:
-        rows = table2_rows()
-        return format_table(
-            ["Name", "Group", "Power (mW)", "Power (%)", "Area (um2)", "Area (%)"],
-            [[r["name"], r.get("group", ""), r["power_mw"], r["power_pct"], r["area_um2"],
-              r["area_pct"]] for r in rows],
-        )
-    if number == 3:
-        rows = table3_rows()
-        return format_table(
-            ["Layer", "Size", "Weight%", "Act%", "FLOP%"],
-            [[r["layer"], r["size"], r["weight_density"], r["activation_density"],
-              r["flop_fraction"]] for r in rows],
-        )
-    if number == 4:
-        rows = table4_rows(args.benchmarks, builder=builder, eie_config=_config(args))
-        headers = ["Platform", "Batch", "Kernel"] + list(args.benchmarks)
-        return format_table(
-            headers,
-            [[r["platform"], r["batch"], r["kernel"]] + [r[b] for b in args.benchmarks]
-             for r in rows],
-        )
-    rows = table5_rows(builder=builder)
-    return format_table(
-        ["Platform", "Area (mm2)", "Power (W)", "Throughput (fps)", "Energy eff. (frames/J)"],
-        [[r["platform"], r["area_mm2"], r["power_w"], r["throughput_fps"],
-          r["energy_efficiency_fpj"]] for r in rows],
+
+
+def _run_table(args: argparse.Namespace) -> str:
+    name = TABLE_EXPERIMENTS[args.number]
+    kwargs: dict[str, object] = {}
+    if args.number == 4:
+        kwargs = {"workloads": args.benchmarks, "config": _config(args), "scale": args.scale}
+    else:
+        _note_scale_ignored(args, name)
+    return _runner().run(name, **kwargs).to_table()
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    name = FIGURE_EXPERIMENTS[args.number]
+    kwargs: dict[str, object] = {}
+    if args.number != 10:
+        kwargs = {"workloads": args.benchmarks, "config": _config(args), "scale": args.scale}
+    else:
+        _note_scale_ignored(args, name)
+    return _runner().run(name, **kwargs).to_table()
+
+
+def _run_ablation(args: argparse.Namespace) -> str:
+    name = ABLATION_EXPERIMENTS[args.which]
+    kwargs: dict[str, object] = {}
+    if args.which != "codebook-bits":
+        kwargs = {
+            "workloads": (args.benchmarks[0],),
+            "config": _config(args),
+            "scale": args.scale,
+        }
+    else:
+        _note_scale_ignored(args, name)
+    return _runner().run(name, **kwargs).to_table()
+
+
+def _parse_override(assignment: str) -> tuple[str, object]:
+    """Parse one ``--set key=value`` assignment.
+
+    Values are read as JSON where possible (numbers, lists, booleans,
+    quoted strings); a bare comma-separated value becomes a list and
+    anything else stays a string.
+    """
+    key, separator, raw = assignment.partition("=")
+    key = key.strip()
+    if not separator or not key:
+        raise SystemExit(f"experiment run: --set expects KEY=VALUE, got {assignment!r}")
+
+    def parse_scalar(text: str) -> object:
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return text
+
+    raw = raw.strip()
+    try:
+        value: object = json.loads(raw)
+    except json.JSONDecodeError:
+        # Not JSON: a bare comma-separated value becomes a list, anything
+        # else stays a string.  (A JSON-quoted string keeps its commas.)
+        if "," in raw:
+            value = [parse_scalar(part.strip()) for part in raw.split(",")]
+        else:
+            value = raw
+    return key, value
+
+
+def _run_experiment_command(args: argparse.Namespace) -> str:
+    if args.experiment_command == "list":
+        rows = [
+            [name, ExperimentRegistry.get(name).description]
+            for name in ExperimentRegistry.names()
+        ]
+        return format_table(["Experiment", "Description"], rows)
+    if args.experiment_command == "describe":
+        return json.dumps(ExperimentRegistry.describe(args.name), indent=2)
+
+    if args.spec is not None:
+        spec = ExperimentSpec.from_json(Path(args.spec).read_text())
+        if args.name is not None and args.name != spec.experiment:
+            raise SystemExit(
+                f"experiment run: name {args.name!r} does not match the spec file's "
+                f"experiment {spec.experiment!r}"
+            )
+    elif args.name is not None:
+        spec = ExperimentSpec(experiment=args.name)
+    else:
+        raise SystemExit("experiment run: give an experiment name or --spec FILE")
+    experiment = ExperimentRegistry.get(spec.experiment)
+    spec = experiment.spec.merged(spec)
+    if args.overrides:
+        spec = spec.with_overrides([_parse_override(entry) for entry in args.overrides])
+    result = _runner(jobs=args.jobs).run(spec)
+    if args.results_dir:
+        txt_path, json_path = result.write(args.results_dir)
+        print(f"wrote {txt_path} and {json_path}", file=sys.stderr)
+    print(
+        f"{result.experiment}: {result.metadata['points']} points, "
+        f"jobs={result.metadata['jobs']}, {result.metadata['duration_s']:.2f}s",
+        file=sys.stderr,
     )
-
-
-def _run_figure(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
-    number = args.number
-    config = _config(args)
-    if number == 6:
-        table = speedup_table(args.benchmarks, builder=builder, eie_config=config)
-        series = {cfg: {b: table[b][cfg] for b in table} for cfg in next(iter(table.values()))}
-        return "Speedup over CPU dense (batch 1):\n" + render_series(series, "Benchmark")
-    if number == 7:
-        table = energy_efficiency_table(args.benchmarks, builder=builder, eie_config=config)
-        series = {cfg: {b: table[b][cfg] for b in table} for cfg in next(iter(table.values()))}
-        return "Energy efficiency over CPU dense (batch 1):\n" + render_series(series, "Benchmark")
-    if number == 8:
-        sweep = fifo_depth_sweep(benchmarks=args.benchmarks, num_pes=args.pes, builder=builder)
-        return "Load-balance efficiency vs FIFO depth:\n" + render_series(sweep, "FIFO depth")
-    if number == 9:
-        points = sram_width_sweep(benchmarks=args.benchmarks, num_pes=args.pes, builder=builder)
-        totals: dict[int, float] = defaultdict(float)
-        for point in points:
-            totals[point.width_bits] += point.total_energy_nj
-        body = format_table(
-            ["Layer", "Width", "# reads", "pJ/read", "Total nJ"],
-            [[p.benchmark, p.width_bits, p.num_reads, p.energy_per_read_pj, p.total_energy_nj]
-             for p in points],
-        )
-        body += "\n\n" + format_table(["Width", "Total energy (nJ)"], sorted(totals.items()))
-        return "Spmat SRAM width sweep:\n" + body
-    if number == 10:
-        points = precision_study()
-        return "Arithmetic precision study:\n" + format_table(
-            ["Precision", "Accuracy", "Agreement", "Multiply energy (pJ)"],
-            [[p.precision, p.accuracy, p.agreement_with_float, p.multiply_energy_pj]
-             for p in points],
-        )
-    sweep = pe_sweep(benchmarks=args.benchmarks, fifo_depth=args.fifo_depth, builder=builder)
-    if number == 11:
-        series = {b: {p.num_pes: p.speedup_vs_1pe for p in pts} for b, pts in sweep.items()}
-        return "Speedup vs number of PEs:\n" + render_series(series, "# PEs")
-    if number == 12:
-        series = {b: {p.num_pes: p.real_work_fraction for p in pts} for b, pts in sweep.items()}
-        return "Real work / total work vs number of PEs:\n" + render_series(series, "# PEs")
-    series = {b: {p.num_pes: p.load_balance_efficiency for p in pts} for b, pts in sweep.items()}
-    return "Load balance vs number of PEs:\n" + render_series(series, "# PEs")
-
-
-def _run_ablation(args: argparse.Namespace, builder: WorkloadBuilder) -> str:
-    if args.which == "index-width":
-        benchmark = args.benchmarks[0]
-        points = index_width_ablation(benchmark, num_pes=args.pes, builder=builder)
-        return f"Relative-index width ablation ({benchmark}):\n" + format_table(
-            ["Index bits", "Padding zeros", "Padding fraction", "Bits per non-zero"],
-            [[p.index_bits, p.padding_zeros, p.padding_fraction, p.bits_per_nonzero]
-             for p in points],
-        )
-    if args.which == "codebook-bits":
-        points = codebook_bits_ablation()
-        return "Codebook size ablation:\n" + format_table(
-            ["Weight bits", "Entries", "RMS error", "Relative RMS error"],
-            [[p.weight_bits, p.codebook_entries, p.rms_error, p.relative_rms_error]
-             for p in points],
-        )
-    benchmark = args.benchmarks[0]
-    results = partitioning_ablation(benchmark, num_pes=args.pes, builder=builder,
-                                    fifo_depth=args.fifo_depth)
-    return f"Workload partitioning ablation ({benchmark}, {args.pes} PEs):\n" + format_table(
-        ["Strategy", "Total cycles", "Compute", "Communication", "Load balance", "Idle PEs"],
-        [[name, r.total_cycles, r.compute_cycles, r.communication_cycles,
-          r.load_balance_efficiency, r.idle_pes] for name, r in results.items()],
-    )
+    return result.to_table()
 
 
 def _run_engine(args: argparse.Namespace) -> str:
@@ -230,7 +312,7 @@ def _run_engine(args: argparse.Namespace) -> str:
         raise SystemExit("run: --density must be in (0, 1]")
     if not 0.0 < args.activation_density <= 1.0:
         raise SystemExit("run: --activation-density must be in (0, 1]")
-    config = _config(args)
+    config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
     rng = make_rng(args.seed)
     weights = rng.normal(0.0, 0.1, size=(args.rows, args.cols))
     session = Session(CompressionConfig(target_density=args.density), config=config)
@@ -268,7 +350,7 @@ def _run_engine(args: argparse.Namespace) -> str:
 
 
 def _run_summary(args: argparse.Namespace) -> str:
-    config = _config(args)
+    config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
     rows = [
         ["Processing elements", config.num_pes],
         ["Clock (MHz)", config.clock_mhz],
@@ -284,19 +366,33 @@ def _run_summary(args: argparse.Namespace) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.cli`` / the ``repro-eie`` script."""
+    argv = list(sys.argv[1:] if argv is None else argv)
     parser = build_parser()
+    commands = _subcommands(parser)
+    if argv and not argv[0].startswith("-") and argv[0] not in commands:
+        print(
+            f"repro-eie: unknown command {argv[0]!r} "
+            f"(expected one of: {', '.join(commands)})",
+            file=sys.stderr,
+        )
+        return 2
     args = parser.parse_args(argv)
-    builder = WorkloadBuilder()
-    if args.command == "table":
-        output = _run_table(args, builder)
-    elif args.command == "figure":
-        output = _run_figure(args, builder)
-    elif args.command == "ablation":
-        output = _run_ablation(args, builder)
-    elif args.command == "run":
-        output = _run_engine(args)
-    else:
-        output = _run_summary(args)
+    try:
+        if args.command == "table":
+            output = _run_table(args)
+        elif args.command == "figure":
+            output = _run_figure(args)
+        elif args.command == "ablation":
+            output = _run_ablation(args)
+        elif args.command == "run":
+            output = _run_engine(args)
+        elif args.command == "experiment":
+            output = _run_experiment_command(args)
+        else:
+            output = _run_summary(args)
+    except (ReproError, OSError) as error:
+        print(f"repro-eie: {error}", file=sys.stderr)
+        return 2
     print(output)
     return 0
 

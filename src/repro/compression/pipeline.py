@@ -11,7 +11,8 @@ compression-ratio claims of the paper can be checked.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -19,7 +20,7 @@ from repro.compression.csc import DEFAULT_MAX_RUN, InterleavedCSC
 from repro.compression.huffman import HuffmanCode
 from repro.compression.pruning import prune_to_density
 from repro.compression.quantization import WeightCodebook
-from repro.errors import CompressionError
+from repro.errors import CompressionError, ConfigurationError
 from repro.utils.rng import make_rng
 from repro.utils.validation import require_matrix
 
@@ -77,6 +78,26 @@ class CompressionConfig:
             raise CompressionError(
                 f"max_run must be in [1, {2**self.index_bits - 1}], got {self.max_run}"
             )
+
+    def to_dict(self) -> dict[str, Any]:
+        """All pipeline parameters as a plain JSON-serializable mapping."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompressionConfig":
+        """Build a configuration from a (possibly partial) field mapping.
+
+        Missing fields take their defaults; unknown keys are rejected with a
+        :class:`~repro.errors.ConfigurationError` naming the offending key.
+        """
+        known = {spec.name for spec in fields(cls)}
+        for key in data:
+            if key not in known:
+                raise ConfigurationError(
+                    f"CompressionConfig has no field {key!r}; "
+                    f"valid fields: {', '.join(sorted(known))}"
+                )
+        return cls(**dict(data))
 
 
 @dataclass

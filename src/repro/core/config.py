@@ -10,7 +10,8 @@ update.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
 from repro.hardware.sram import SramConfig
@@ -159,6 +160,28 @@ class EIEConfig:
             width_bits=max(self.activation_bits, 16),
             name="act",
         )
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """All configuration fields as a plain JSON-serializable mapping."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EIEConfig":
+        """Build a configuration from a (possibly partial) field mapping.
+
+        Missing fields take their defaults; unknown keys are rejected with a
+        :class:`ConfigurationError` naming the offending key, so a typo in an
+        experiment spec fails loudly instead of silently using the default.
+        """
+        known = {spec.name for spec in fields(cls)}
+        for key in data:
+            if key not in known:
+                raise ConfigurationError(
+                    f"EIEConfig has no field {key!r}; valid fields: {', '.join(sorted(known))}"
+                )
+        return cls(**dict(data))
 
     # -- convenience -------------------------------------------------------------
 

@@ -26,6 +26,7 @@ themselves.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any
 
@@ -87,18 +88,23 @@ class Session:
         self._engine_cache: OrderedDict[tuple, SimulationEngine] = OrderedDict()
         self._bounds = {"layers": max_layers, "prepared": max_prepared, "engines": max_engines}
         self._hits = {"layers": 0, "prepared": 0, "engines": 0}
+        # Guards the LRU bookkeeping (get + move_to_end, put + evict): the
+        # experiment runner shares one session across worker threads.
+        self._lock = threading.RLock()
 
     def _cache_get(self, which: str, cache: OrderedDict, key: tuple) -> Any:
-        value = cache.get(key)
-        if value is not None:
-            cache.move_to_end(key)
-            self._hits[which] += 1
-        return value
+        with self._lock:
+            value = cache.get(key)
+            if value is not None:
+                cache.move_to_end(key)
+                self._hits[which] += 1
+            return value
 
     def _cache_put(self, which: str, cache: OrderedDict, key: tuple, value: Any) -> None:
-        cache[key] = value
-        while len(cache) > self._bounds[which]:
-            cache.popitem(last=False)
+        with self._lock:
+            cache[key] = value
+            while len(cache) > self._bounds[which]:
+                cache.popitem(last=False)
 
     # -- compression -------------------------------------------------------------
 
@@ -190,8 +196,9 @@ class Session:
 
     def clear(self) -> None:
         """Drop every cached layer, prepared layer and engine instance."""
-        self._layer_cache.clear()
-        self._prepared_cache.clear()
-        self._engine_cache.clear()
-        for key in self._hits:
-            self._hits[key] = 0
+        with self._lock:
+            self._layer_cache.clear()
+            self._prepared_cache.clear()
+            self._engine_cache.clear()
+            for key in self._hits:
+                self._hits[key] = 0

@@ -1,0 +1,139 @@
+"""Uniform experiment results: records + metadata + provenance.
+
+Every experiment — sweep, table or ablation — returns one
+:class:`ExperimentResult`.  The payload is a flat list of per-point record
+dictionaries (uniformly serializable), plus run metadata (point count, jobs,
+duration) and provenance (the exact spec, library version and source paper),
+so any result can be rendered as the paper's table text, converted to a
+dictionary, or written to ``results/<name>.txt`` + ``results/<name>.json``
+under one shared naming scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.analysis.report import format_table
+from repro.experiments.spec import ExperimentSpec, _jsonable
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of running one :class:`ExperimentSpec`.
+
+    Attributes:
+        experiment: registry name of the experiment that produced the result.
+        spec: the fully merged spec that was executed.
+        records: one dictionary per result row, in deterministic point order
+            (identical for any ``--jobs`` level).
+        metadata: run bookkeeping (grid point count, jobs, duration seconds).
+        provenance: everything needed to reproduce the run (the spec as a
+            dictionary, the library version, the source paper id).
+    """
+
+    experiment: str
+    spec: ExperimentSpec
+    records: list[dict[str, Any]]
+    metadata: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_records(
+        cls,
+        experiment: str,
+        records: Iterable[dict[str, Any]],
+        spec: ExperimentSpec | None = None,
+        **metadata: Any,
+    ) -> "ExperimentResult":
+        """Wrap ad-hoc records (e.g. a perf harness) in the uniform shape."""
+        return cls(
+            experiment=experiment,
+            spec=spec or ExperimentSpec(experiment=experiment),
+            records=[dict(record) for record in records],
+            metadata=dict(metadata),
+        )
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_table(self) -> str:
+        """The result rendered as the paper's plain-text table.
+
+        Registered experiments render byte-for-byte what the legacy CLI entry
+        point printed; unregistered (ad-hoc) results fall back to a generic
+        table over the union of record keys.
+        """
+        from repro.experiments.registry import ExperimentRegistry
+
+        experiment = ExperimentRegistry.get_optional(self.experiment)
+        if experiment is not None and experiment.render is not None:
+            return experiment.render(self)
+        return self.generic_table()
+
+    def generic_table(self) -> str:
+        """A plain table over the union of record keys, in first-seen order."""
+        headers: list[str] = []
+        for record in self.records:
+            for key in record:
+                if key not in headers:
+                    headers.append(key)
+        rows = [[record.get(key) for key in headers] for record in self.records]
+        return format_table(headers, rows)
+
+    def legacy(self) -> Any:
+        """The records reshaped into the legacy analysis function's return type.
+
+        The back-compat shims (``fifo_depth_sweep``, ``pe_sweep``,
+        ``speedup_table``, ...) are thin wrappers over this view.
+        """
+        from repro.experiments.registry import ExperimentRegistry
+
+        experiment = ExperimentRegistry.get_optional(self.experiment)
+        if experiment is None or experiment.to_legacy is None:
+            return [dict(record) for record in self.records]
+        return experiment.to_legacy(self)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The result as a plain JSON-serializable dictionary."""
+        return {
+            "experiment": self.experiment,
+            "spec": self.spec.to_dict(),
+            "records": _jsonable(self.records),
+            "metadata": _jsonable(self.metadata),
+            "provenance": _jsonable(self.provenance),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The result serialized as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(
+        self,
+        results_dir: str | Path,
+        stem: str | None = None,
+        extra: str | None = None,
+    ) -> tuple[Path, Path]:
+        """Write ``<stem>.txt`` (rendered table) and ``<stem>.json``.
+
+        ``stem`` defaults to the experiment name, giving every entry point the
+        shared ``results/<experiment>.{txt,json}`` naming scheme; ``extra``
+        text (e.g. a comparison against the paper's published numbers) is
+        appended to the ``.txt`` report.
+        """
+        results_dir = Path(results_dir)
+        results_dir.mkdir(parents=True, exist_ok=True)
+        stem = stem or self.experiment
+        text = self.to_table()
+        if extra:
+            text += "\n\n" + extra
+        txt_path = results_dir / f"{stem}.txt"
+        json_path = results_dir / f"{stem}.json"
+        txt_path.write_text(text + "\n")
+        json_path.write_text(self.to_json() + "\n")
+        return txt_path, json_path

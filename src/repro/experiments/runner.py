@@ -1,0 +1,321 @@
+"""Execution of declarative experiment specs.
+
+:class:`ExperimentRunner` turns an :class:`~repro.experiments.spec.ExperimentSpec`
+into an :class:`~repro.experiments.result.ExperimentResult`:
+
+1. the spec is merged over the registered experiment's defaults and its grid
+   is expanded into an ordered list of run points (workload axis first, then
+   the experiment's sweep axes, then ``repeat`` when ``repeats > 1``);
+2. shared per-run state — one :class:`~repro.workloads.generator.WorkloadBuilder`
+   and one :class:`~repro.engine.session.Session` — deduplicates workload
+   construction, compression and engine preparation across all points;
+3. points execute serially or concurrently (``jobs > 1`` uses a thread pool;
+   the heavy numpy kernels release the GIL), and records are assembled in
+   point order, so the result is bit-identical at every ``--jobs`` level;
+4. optional cross-point finalization (speedups versus a baseline point,
+   geometric means) produces the final uniform records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from itertools import product
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.config import EIEConfig
+from repro.engine.session import Session
+from repro.errors import ConfigurationError, WorkloadError
+from repro.experiments.registry import Experiment, ExperimentRegistry
+from repro.experiments.result import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.workloads.benchmarks import LayerSpec, get_benchmark
+from repro.workloads.generator import LayerWorkload, WorkloadBuilder
+
+__all__ = ["ExperimentContext", "ExperimentRunner", "run_experiment"]
+
+#: Paper id recorded in every result's provenance.
+SOURCE_PAPER = "conf_isca_HanLMPPHD16"
+
+
+class ExperimentContext:
+    """Shared state one experiment run hands to its point functions.
+
+    The context owns the run's workload builder and engine session (both
+    shared across every grid point, so repeated (config, layer) preparation
+    is deduplicated), the resolved benchmark :class:`LayerSpec` objects, and
+    the merged scalar parameters.
+    """
+
+    def __init__(
+        self,
+        experiment: Experiment,
+        spec: ExperimentSpec,
+        builder: WorkloadBuilder,
+        session: Session,
+        layer_specs: "dict[str, LayerSpec]",
+    ) -> None:
+        self.experiment = experiment
+        self.spec = spec
+        self.builder = builder
+        self.session = session
+        self.layer_specs = layer_specs
+        self.params = dict(spec.params)
+        self.base_config = spec.eie_config()
+        self.compression = spec.compression_config()
+        self.engine_name = spec.engine or "cycle"
+        self.seed = spec.seed if spec.seed is not None else 0
+        self._memo: dict[Any, Any] = {}
+        self._memo_lock = threading.Lock()
+
+    # -- helpers for point functions -----------------------------------------------
+
+    def config(self, **overrides: Any) -> EIEConfig:
+        """The spec's accelerator configuration with per-point overrides."""
+        if not overrides:
+            return self.base_config
+        return self.spec.eie_config(**overrides)
+
+    def layer_spec(self, name: str) -> LayerSpec:
+        """The resolved (possibly scaled) benchmark spec for ``name``."""
+        try:
+            return self.layer_specs[name]
+        except KeyError:
+            raise WorkloadError(
+                f"benchmark {name!r} is not part of this run; "
+                f"selected workloads: {sorted(self.layer_specs)}"
+            ) from None
+
+    def workload(self, name: str, num_pes: int | None = None) -> LayerWorkload:
+        """The (cached) cycle-model workload for one benchmark of the run."""
+        num_pes = num_pes if num_pes is not None else self.base_config.num_pes
+        return self.builder.build(self.layer_spec(name), int(num_pes))
+
+    def memo(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Compute-once storage for deterministic state shared across points."""
+        with self._memo_lock:
+            if key not in self._memo:
+                self._memo[key] = factory()
+            return self._memo[key]
+
+
+class ExperimentRunner:
+    """Expands a spec's grid into points and executes them through one session.
+
+    Args:
+        jobs: default concurrency (``1`` = serial; ``N > 1`` runs points on a
+            thread pool).  Per-call ``jobs`` overrides this.
+        builder: workload builder shared across runs (one is created if not
+            given); inject the benchmark harness's session-scoped builder to
+            share its pattern cache.
+        session: engine session shared across runs (one per runner if not
+            given).
+        registry: the experiment registry to resolve names against.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        builder: WorkloadBuilder | None = None,
+        session: Session | None = None,
+        registry: type[ExperimentRegistry] = ExperimentRegistry,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.builder = builder or WorkloadBuilder()
+        self.session = session or Session()
+        self.registry = registry
+
+    # -- spec assembly -----------------------------------------------------------
+
+    def _merge_spec(
+        self,
+        spec_or_name: "str | ExperimentSpec",
+        overrides: Mapping[str, Any],
+    ) -> tuple[Experiment, ExperimentSpec]:
+        if isinstance(spec_or_name, ExperimentSpec):
+            experiment = self.registry.get(spec_or_name.experiment)
+            spec = experiment.spec.merged(spec_or_name)
+        else:
+            experiment = self.registry.get(spec_or_name)
+            spec = experiment.spec
+        changes: dict[str, Any] = {}
+        for name in ("config", "compression", "grid", "params"):
+            value = overrides.get(name)
+            if value:
+                if name == "config" and isinstance(value, EIEConfig):
+                    value = value.to_dict()
+                changes[name] = {**getattr(spec, name), **dict(value)}
+        for name in ("engine", "seed", "scale", "repeats"):
+            if overrides.get(name) is not None:
+                changes[name] = overrides[name]
+        if changes:
+            spec = ExperimentSpec.from_dict({**spec.to_dict(), **changes})
+        unknown_axes = set(spec.grid) - set(experiment.spec.grid)
+        if unknown_axes:
+            known = ", ".join(sorted(experiment.spec.grid)) or "<none>"
+            raise ConfigurationError(
+                f"experiment {experiment.name!r} has no grid axis "
+                f"{', '.join(sorted(map(repr, unknown_axes)))}; known axes: {known}"
+            )
+        unknown_params = set(spec.params) - set(experiment.spec.params)
+        if unknown_params:
+            known = ", ".join(sorted(experiment.spec.params)) or "<none>"
+            raise ConfigurationError(
+                f"experiment {experiment.name!r} has no parameter "
+                f"{', '.join(sorted(map(repr, unknown_params)))}; known parameters: {known}"
+            )
+        return experiment, spec
+
+    def _resolve_workloads(
+        self,
+        experiment: Experiment,
+        spec: ExperimentSpec,
+        workloads: "Sequence[str | LayerSpec] | None",
+    ) -> tuple[ExperimentSpec, dict[str, LayerSpec]]:
+        if not experiment.uses_workloads:
+            return spec, {}
+        selection: Sequence[str | LayerSpec]
+        if workloads is not None:
+            selection = list(workloads)
+            # Record the selection on the spec so provenance stays faithful.
+            spec_names = tuple(
+                entry.name if isinstance(entry, LayerSpec) else str(entry)
+                for entry in selection
+            )
+            spec = replace(spec, workloads=spec_names)
+        elif spec.workloads is not None:
+            selection = list(spec.workloads)
+        else:
+            raise ConfigurationError(
+                f"experiment {experiment.name!r} needs a workload selection"
+            )
+        resolved: dict[str, LayerSpec] = {}
+        for entry in selection:
+            if isinstance(entry, LayerSpec):
+                layer_spec = entry
+            else:
+                layer_spec = get_benchmark(str(entry))
+                if spec.scale is not None:
+                    layer_spec = layer_spec.scaled(spec.scale)
+            resolved[layer_spec.name] = layer_spec
+        if not resolved:
+            raise ConfigurationError(
+                f"experiment {experiment.name!r} needs at least one workload"
+            )
+        return spec, resolved
+
+    @staticmethod
+    def _expand_points(
+        experiment: Experiment, spec: ExperimentSpec, workload_names: Sequence[str]
+    ) -> list[dict[str, Any]]:
+        axes: list[tuple[str, tuple]] = []
+        if experiment.uses_workloads:
+            axes.append(("benchmark", tuple(workload_names)))
+        for axis in experiment.spec.grid:  # default grid fixes the axis order
+            axes.append((axis, spec.grid[axis]))
+        repeats = spec.repeats or 1
+        if repeats > 1:
+            axes.append(("repeat", tuple(range(repeats))))
+        if not axes:
+            return [{}]
+        names = [axis for axis, _ in axes]
+        return [
+            dict(zip(names, values)) for values in product(*(values for _, values in axes))
+        ]
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(
+        self,
+        spec_or_name: "str | ExperimentSpec",
+        jobs: int | None = None,
+        workloads: "Sequence[str | LayerSpec] | None" = None,
+        config: "Mapping[str, Any] | EIEConfig | None" = None,
+        compression: Mapping[str, Any] | None = None,
+        grid: Mapping[str, Sequence[Any]] | None = None,
+        params: Mapping[str, Any] | None = None,
+        engine: str | None = None,
+        seed: int | None = None,
+        scale: float | None = None,
+        repeats: int | None = None,
+    ) -> ExperimentResult:
+        """Execute an experiment (by name or spec) and return its result.
+
+        Keyword overrides are overlaid onto the experiment's default spec;
+        ``workloads`` additionally accepts explicit :class:`LayerSpec`
+        objects (scaled test layers) that a JSON spec cannot express.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        experiment, spec = self._merge_spec(
+            spec_or_name,
+            {
+                "config": config,
+                "compression": compression,
+                "grid": grid,
+                "params": params,
+                "engine": engine,
+                "seed": seed,
+                "scale": scale,
+                "repeats": repeats,
+            },
+        )
+        spec, layer_specs = self._resolve_workloads(experiment, spec, workloads)
+        context = ExperimentContext(experiment, spec, self.builder, self.session, layer_specs)
+        points = self._expand_points(experiment, spec, list(layer_specs))
+
+        started = time.perf_counter()
+
+        def run_one(point: dict[str, Any]) -> list[dict[str, Any]]:
+            outcome = experiment.run_point(context, point)
+            if isinstance(outcome, dict):
+                outcome = [outcome]
+            return [{**point, **record} for record in outcome]
+
+        if jobs == 1 or len(points) <= 1:
+            per_point = [run_one(point) for point in points]
+        else:
+            with ThreadPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+                per_point = list(pool.map(run_one, points))
+        records = [record for point_records in per_point for record in point_records]
+        if experiment.finalize is not None:
+            records = experiment.finalize(context, records)
+        duration = time.perf_counter() - started
+
+        from repro import __version__
+
+        return ExperimentResult(
+            experiment=experiment.name,
+            spec=spec,
+            records=records,
+            metadata={
+                "points": len(points),
+                "jobs": jobs,
+                "duration_s": duration,
+                "axes": [axis for axis in points[0]] if points and points[0] else [],
+                "engine": context.engine_name,
+            },
+            provenance={
+                "spec": spec.to_dict(),
+                "workloads": list(layer_specs),
+                "version": __version__,
+                "paper": SOURCE_PAPER,
+            },
+        )
+
+
+def run_experiment(
+    spec_or_name: "str | ExperimentSpec",
+    jobs: int = 1,
+    builder: WorkloadBuilder | None = None,
+    session: Session | None = None,
+    **overrides: Any,
+) -> ExperimentResult:
+    """One-shot convenience: build a runner, execute, return the result."""
+    runner = ExperimentRunner(jobs=jobs, builder=builder, session=session)
+    return runner.run(spec_or_name, **overrides)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -44,6 +46,122 @@ class TestParser:
     def test_run_rejects_unknown_engine(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--engine", "verilog"])
+
+    def test_experiment_run_command_options(self):
+        args = build_parser().parse_args(
+            ["experiment", "run", "fig8_fifo_depth", "--set", "scale=64", "--jobs", "4"]
+        )
+        assert args.command == "experiment"
+        assert args.experiment_command == "run"
+        assert args.name == "fig8_fifo_depth"
+        assert args.overrides == ["scale=64"]
+        assert args.jobs == 4
+
+
+class TestVersionAndUnknownCommands:
+    def test_version_flag_prints_version_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        import repro
+
+        assert "repro-eie" in out and repro.__version__ in out
+
+    def test_unknown_command_exits_2_with_one_line_hint(self, capsys):
+        assert main(["bogus-command"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown command 'bogus-command'" in err
+        assert "experiment" in err  # the hint names the valid commands
+
+
+class TestExperimentCommands:
+    def test_experiment_list_names_every_registered_experiment(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig8_fifo_depth", "table4_wallclock", "ablation_partitioning"):
+            assert name in out
+
+    def test_experiment_describe_emits_default_spec_json(self, capsys):
+        assert main(["experiment", "describe", "fig8_fifo_depth"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert description["name"] == "fig8_fifo_depth"
+        assert description["axes"] == ["fifo_depth"]
+        assert description["default_spec"]["grid"]["fifo_depth"] == [
+            1, 2, 4, 8, 16, 32, 64, 128, 256
+        ]
+
+    def test_experiment_describe_unknown_name_exits_2(self, capsys):
+        assert main(["experiment", "describe", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_run_with_overrides_and_jobs(self, capsys):
+        assert main([
+            "experiment", "run", "fig8_fifo_depth",
+            "--set", "scale=64", "--set", "workloads=Alex-7",
+            "--set", "grid.fifo_depth=[1,8]", "--set", "config.num_pes=16",
+            "--jobs", "2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "Load-balance efficiency vs FIFO depth:" in captured.out
+        assert "Alex-7-x64" in captured.out
+        assert "2 points" not in captured.out  # run summary goes to stderr
+        assert "jobs=2" in captured.err
+
+    def test_experiment_run_from_spec_file_writes_results(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "experiment": "fig9_sram_width",
+            "workloads": ["Alex-7"],
+            "scale": 64,
+            "grid": {"width_bits": [32, 64]},
+            "config": {"num_pes": 16},
+        }))
+        results_dir = tmp_path / "results"
+        assert main([
+            "experiment", "run", "--spec", str(spec_path),
+            "--results-dir", str(results_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Spmat SRAM width sweep:" in out
+        assert (results_dir / "fig9_sram_width.txt").exists()
+        stored = json.loads((results_dir / "fig9_sram_width.json").read_text())
+        assert stored["provenance"]["spec"]["scale"] == 64
+        assert len(stored["records"]) == 2
+
+    def test_experiment_run_without_name_or_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "run"])
+
+    def test_experiment_run_rejects_bad_set_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "run", "table1_energy", "--set", "noequals"])
+
+    def test_experiment_run_rejects_unknown_spec_key(self, capsys):
+        assert main(["experiment", "run", "table1_energy", "--set", "bogus=1"]) == 2
+        assert "no field 'bogus'" in capsys.readouterr().err
+
+    def test_experiment_run_missing_spec_file_exits_2_without_traceback(self, capsys):
+        assert main(["experiment", "run", "--spec", "/nonexistent/spec.json"]) == 2
+        assert "repro-eie:" in capsys.readouterr().err
+
+    def test_set_values_parse_json_lists_commas_and_quoted_strings(self):
+        from repro.cli import _parse_override
+
+        assert _parse_override("grid.fifo_depth=[1,8]") == ("grid.fifo_depth", [1, 8])
+        assert _parse_override("workloads=Alex-6,NT-We") == (
+            "workloads", ["Alex-6", "NT-We"]
+        )
+        assert _parse_override("scale=64") == ("scale", 64)
+        # A JSON-quoted string keeps its commas (no list splitting).
+        assert _parse_override('params.label="a, b"') == ("params.label", "a, b")
+
+    def test_scale_on_fixed_workload_commands_prints_a_note(self, capsys):
+        assert main(["table", "1", "--scale", "64"]) == 0
+        captured = capsys.readouterr()
+        assert "--scale has no effect" in captured.err
+        assert "DRAM" in captured.out  # the table still renders normally
 
 
 class TestStaticCommands:

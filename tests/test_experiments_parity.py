@@ -1,0 +1,179 @@
+"""Parity tests: registered experiments reproduce the legacy entry points.
+
+Each paper entry point must be runnable as an experiment whose rendered
+table and reshaped (legacy-view) values match the legacy analysis function
+bit for bit, and the CLI's classic ``figure``/``table``/``ablation`` commands
+must print byte-identical output to ``experiment run <name>``.  A direct
+engine-level recomputation guards against the shims and the catalog drifting
+together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ablation import codebook_bits_ablation, index_width_ablation
+from repro.analysis.design_space import fifo_depth_sweep, precision_study, sram_width_sweep
+from repro.analysis.energy_efficiency import energy_efficiency_table
+from repro.analysis.scalability import pe_sweep
+from repro.analysis.speedup import speedup_table
+from repro.cli import main
+from repro.core.config import EIEConfig
+from repro.engine import EngineRegistry
+from repro.experiments import run_experiment
+from repro.workloads.benchmarks import scaled_benchmarks
+from repro.workloads.generator import WorkloadBuilder
+
+SCALE = 64.0
+
+
+@pytest.fixture(scope="module")
+def builder() -> WorkloadBuilder:
+    return WorkloadBuilder()
+
+
+@pytest.fixture(scope="module")
+def subset():
+    specs = scaled_benchmarks(SCALE)
+    return [specs["Alex-7"], specs["NT-We"]]
+
+
+class TestLegacyFunctionParity:
+    """The shims and the experiments must agree exactly (same objects/values)."""
+
+    def test_fifo_depth_sweep(self, builder, subset):
+        legacy = fifo_depth_sweep((1, 8), subset, num_pes=16, builder=builder)
+        result = run_experiment(
+            "fig8_fifo_depth", builder=builder, workloads=subset,
+            grid={"fifo_depth": (1, 8)}, config={"num_pes": 16},
+        )
+        assert result.legacy() == legacy
+
+    def test_fifo_depth_against_direct_engine_runs(self, builder, subset):
+        """Independent recomputation: the experiment cannot drift silently."""
+        result = run_experiment(
+            "fig8_fifo_depth", builder=builder, workloads=subset,
+            grid={"fifo_depth": (1, 8)}, config={"num_pes": 16},
+        )
+        for record in result.records:
+            spec = next(s for s in subset if s.name == record["benchmark"])
+            workload = builder.build(spec, 16)
+            config = EIEConfig(num_pes=16, fifo_depth=record["fifo_depth"])
+            engine = EngineRegistry.create("cycle", config)
+            stats = engine.run(engine.prepare(workload)).stats
+            assert record["load_balance_efficiency"] == stats.load_balance_efficiency
+
+    def test_sram_width_sweep(self, builder, subset):
+        legacy = sram_width_sweep((32, 64, 128), subset, num_pes=16, builder=builder)
+        result = run_experiment(
+            "fig9_sram_width", builder=builder, workloads=subset,
+            grid={"width_bits": (32, 64, 128)}, config={"num_pes": 16},
+        )
+        assert result.legacy() == legacy
+
+    def test_precision_study(self):
+        legacy = precision_study(num_samples=32, input_size=16, hidden_size=12, classes=8)
+        result = run_experiment(
+            "fig10_precision",
+            params={"num_samples": 32, "input_size": 16, "hidden_size": 12, "classes": 8},
+        )
+        assert result.legacy() == legacy
+
+    def test_pe_sweep(self, builder, subset):
+        legacy = pe_sweep((1, 4, 16), subset, builder=builder)
+        result = run_experiment(
+            "fig11_scalability", builder=builder, workloads=subset,
+            grid={"num_pes": (1, 4, 16)}, config={"fifo_depth": 8},
+        )
+        assert result.legacy() == legacy
+
+    def test_speedup_table(self, builder, subset):
+        legacy = speedup_table(subset, builder=builder, eie_config=EIEConfig(num_pes=16))
+        result = run_experiment(
+            "fig6_speedup", builder=builder, workloads=subset, config={"num_pes": 16}
+        )
+        assert result.legacy() == legacy
+
+    def test_energy_efficiency_table(self, builder, subset):
+        legacy = energy_efficiency_table(
+            subset, builder=builder, eie_config=EIEConfig(num_pes=16)
+        )
+        result = run_experiment(
+            "fig7_energy_efficiency", builder=builder, workloads=subset,
+            config={"num_pes": 16},
+        )
+        assert result.legacy() == legacy
+
+    def test_index_width_ablation(self, builder, subset):
+        legacy = index_width_ablation(
+            subset[0], index_bits_options=(2, 4, 8), num_pes=8, builder=builder
+        )
+        result = run_experiment(
+            "ablation_index_width", builder=builder, workloads=subset[:1],
+            grid={"index_bits": (2, 4, 8)}, config={"num_pes": 8},
+        )
+        assert result.legacy() == legacy
+
+    def test_codebook_bits_ablation(self):
+        legacy = codebook_bits_ablation(weight_bits_options=(2, 4), num_weights=2000)
+        result = run_experiment(
+            "ablation_codebook_bits", grid={"weight_bits": (2, 4)},
+            params={"num_weights": 2000},
+        )
+        assert result.legacy() == legacy
+
+    def test_tables_match_legacy_row_builders(self):
+        # Table V is exercised at full scale by the benchmark harness only
+        # (its AlexNet-FC7 workload is too heavy for the unit suite).
+        from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+
+        assert run_experiment("table1_energy").records == table1_rows()
+        assert run_experiment("table2_area_power").records == table2_rows()
+        assert run_experiment("table3_benchmarks").records == table3_rows()
+
+    def test_table4_matches_legacy_rows(self, builder, subset):
+        from repro.analysis.tables import table4_rows
+
+        config = EIEConfig(num_pes=16)
+        legacy = table4_rows(subset, builder=builder, eie_config=config)
+        result = run_experiment(
+            "table4_wallclock", builder=builder, workloads=subset, config={"num_pes": 16}
+        )
+        assert result.records == legacy
+
+
+class TestCliParity:
+    """`repro figure/table/ablation` and `repro experiment run` print the same bytes."""
+
+    def _capture(self, capsys, argv) -> str:
+        assert main(argv) == 0
+        return capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "legacy_argv, experiment_argv",
+        [
+            (
+                ["figure", "8", "--scale", "64", "--benchmarks", "Alex-7", "--pes", "16"],
+                ["experiment", "run", "fig8_fifo_depth", "--set", "scale=64",
+                 "--set", "workloads=Alex-7", "--set", "config.num_pes=16"],
+            ),
+            (
+                ["figure", "12", "--scale", "64", "--benchmarks", "Alex-7"],
+                ["experiment", "run", "fig12_padding_zeros", "--set", "scale=64",
+                 "--set", "workloads=Alex-7"],
+            ),
+            (["table", "1"], ["experiment", "run", "table1_energy"]),
+            (["table", "2"], ["experiment", "run", "table2_area_power"]),
+            (["table", "3"], ["experiment", "run", "table3_benchmarks"]),
+            (
+                ["ablation", "index-width", "--scale", "64", "--benchmarks", "Alex-7",
+                 "--pes", "16"],
+                ["experiment", "run", "ablation_index_width", "--set", "scale=64",
+                 "--set", "workloads=Alex-7", "--set", "config.num_pes=16"],
+            ),
+        ],
+    )
+    def test_legacy_command_equals_experiment_run(self, capsys, legacy_argv, experiment_argv):
+        legacy_output = self._capture(capsys, legacy_argv)
+        experiment_output = self._capture(capsys, experiment_argv)
+        assert experiment_output == legacy_output
