@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Tracked perf-regression harness for the compression + cycle-model hot paths.
+
+Times the kernels every experiment pays on each workload build — Deep
+Compression (pruning, k-means weight sharing, quantisation), interleaved CSC
+encoding, cycle-engine layer preparation, the sparsity-pattern entry counts
+and the broadcast/FIFO timing recurrence — at **paper scale** (an
+AlexNet-fc6-sized 4096x9216 layer at 9% density on 64 PEs, batch 64) and
+records the measurements in ``BENCH_hotpaths.json`` at the repository root so
+future PRs have a trajectory to compare against.
+
+Usage::
+
+    python benchmarks/perf/bench_perf_hotpaths.py            # paper scale
+    python benchmarks/perf/bench_perf_hotpaths.py --quick    # small, CI-sized
+    python benchmarks/perf/bench_perf_hotpaths.py --quick --check --no-write
+
+``--check`` compares the fresh measurements against the committed baseline
+JSON and exits non-zero if any throughput regressed more than
+``--max-slowdown`` (default 2x) — that is the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.compression.csc import CSCMatrix, InterleavedCSC, interleaved_entry_counts
+from repro.compression.pipeline import CompressionConfig, DeepCompressor
+from repro.compression.quantization import WeightCodebook
+from repro.core.config import EIEConfig
+from repro.core.cycle_model import (
+    layer_work_matrices,
+    simulate_layer_cycles,
+    simulate_layer_cycles_batch,
+)
+from repro.utils.perfbench import (
+    BenchResult,
+    check_against_baseline,
+    merge_results,
+    run_benchmark,
+)
+from repro.workloads.synthetic import generate_activations, generate_sparse_pattern
+from repro.utils.rng import make_rng
+
+BENCH_PATH = REPO_ROOT / "BENCH_hotpaths.json"
+
+#: Paper-scale problem (AlexNet fc6 from Table III) and the CI-sized variant.
+SCALES = {
+    "paper": dict(
+        rows=4096, cols=9216, density=0.09, activation_density=0.35,
+        num_pes=64, batch=64, fifo_depth=8, repeats=2,
+    ),
+    "quick": dict(
+        rows=512, cols=1024, density=0.10, activation_density=0.35,
+        num_pes=16, batch=16, fifo_depth=8, repeats=3,
+    ),
+}
+
+
+def _reference_encode_column(column: np.ndarray, max_run: int = 15):
+    """The seed's per-element CSC column encoder (kept as the yardstick the
+    vectorised kernels are measured against; the property tests pin
+    bit-identical output)."""
+    values: list[float] = []
+    runs: list[int] = []
+    zeros_pending = 0
+    for element in column:
+        if element == 0.0:
+            zeros_pending += 1
+            continue
+        while zeros_pending > max_run:
+            values.append(0.0)
+            runs.append(max_run)
+            zeros_pending -= max_run + 1
+        values.append(float(element))
+        runs.append(zeros_pending)
+        zeros_pending = 0
+    return np.asarray(values, dtype=np.float64), np.asarray(runs, dtype=np.int64)
+
+
+def _reference_encode_dense(dense: np.ndarray) -> None:
+    for j in range(dense.shape[1]):
+        _reference_encode_column(dense[:, j])
+
+
+def _dense_matrix(rows: int, cols: int, density: float, seed: int = 7) -> np.ndarray:
+    rng = make_rng(seed)
+    weights = rng.normal(0.0, 0.1, size=(rows, cols))
+    weights[rng.random((rows, cols)) >= density] = 0.0
+    if not np.count_nonzero(weights):
+        weights[0, 0] = 0.1
+    return weights
+
+
+def run_suite(mode: str) -> list[BenchResult]:
+    scale = SCALES[mode]
+    rows, cols = scale["rows"], scale["cols"]
+    num_pes, batch = scale["num_pes"], scale["batch"]
+    repeats = scale["repeats"]
+    dense_cells = rows * cols
+    params = {k: v for k, v in scale.items() if k != "repeats"}
+    results: list[BenchResult] = []
+
+    print(f"[{mode}] {rows}x{cols} @ {scale['density']:.0%}, "
+          f"{num_pes} PEs, batch {batch}", flush=True)
+
+    dense = _dense_matrix(rows, cols, scale["density"])
+
+    # 1. Deep Compression end to end (pruning + k-means + quantise + encode).
+    compressor = DeepCompressor(CompressionConfig(target_density=scale["density"]))
+    results.append(run_benchmark(
+        "compress", lambda: compressor.compress(dense, num_pes=num_pes),
+        work_items=dense_cells, unit="dense elements", params=params,
+        repeats=repeats, warmup=1,
+    ))
+    print(f"  compress:        {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 2. Interleaved CSC encoding alone (the vectorised whole-matrix path).
+    codebook = WeightCodebook.fit(dense[dense != 0.0], rng=0)
+    indices = codebook.quantize(dense).astype(np.float64)
+    results.append(run_benchmark(
+        "csc_encode", lambda: InterleavedCSC.from_dense(indices, num_pes=num_pes),
+        work_items=dense_cells, unit="dense elements", params=params,
+        repeats=repeats, warmup=1,
+    ))
+    print(f"  csc_encode:      {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 3. Cycle-engine layer preparation (per-(PE, column) work extraction).
+    layer = compressor.compress(dense, num_pes=num_pes)
+
+    def prepare() -> None:
+        # Invalidate the prepared-layer caches so the true extraction cost is
+        # measured, not the cached re-read.
+        layer.storage.invalidate_caches()
+        layer_work_matrices(layer)
+
+    results.append(run_benchmark(
+        "prepare", prepare,
+        work_items=layer.num_stored_entries, unit="stored entries",
+        params=params, repeats=repeats, warmup=1,
+    ))
+    print(f"  prepare:         {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 4. Sparsity-pattern entry counts (the experiment-path preparation that
+    #    avoids materialising the encoded streams at full Table III scale).
+    pattern = generate_sparse_pattern(rows, cols, scale["density"], make_rng(11))
+    results.append(run_benchmark(
+        "pattern_counts",
+        lambda: interleaved_entry_counts(
+            pattern.row_indices, pattern.col_ptr, num_rows=rows, num_pes=num_pes
+        ),
+        work_items=pattern.nnz, unit="nonzeros", params=params,
+        repeats=repeats, warmup=1,
+    ))
+    print(f"  pattern_counts:  {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 5/6. The broadcast/FIFO timing recurrence, single input and batched.
+    counts, _ = interleaved_entry_counts(
+        pattern.row_indices, pattern.col_ptr, num_rows=rows, num_pes=num_pes
+    )
+    activation_rng = make_rng(23)
+    single = np.flatnonzero(
+        generate_activations(cols, scale["activation_density"], activation_rng)
+    )
+    work_single = counts[:, single]
+    results.append(run_benchmark(
+        "simulate",
+        lambda: simulate_layer_cycles(work_single, fifo_depth=scale["fifo_depth"]),
+        work_items=int(work_single.sum()), unit="entries", params=params,
+        repeats=max(repeats, 3), warmup=1,
+    ))
+    print(f"  simulate:        {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 7. The acceptance yardstick: 1024x1024 @ 10%, vectorised vs the seed
+    #    per-element encoder (paper mode only — the reference loop is slow).
+    if mode == "paper":
+        yard = _dense_matrix(1024, 1024, 0.10, seed=42)
+        yard_params = {"rows": 1024, "cols": 1024, "density": 0.10}
+        results.append(run_benchmark(
+            "csc_encode_1024", lambda: CSCMatrix.from_dense(yard),
+            work_items=yard.size, unit="dense elements", params=yard_params,
+            repeats=5, warmup=1,
+        ))
+        results.append(run_benchmark(
+            "csc_encode_1024_reference", lambda: _reference_encode_dense(yard),
+            work_items=yard.size, unit="dense elements", params=yard_params,
+            repeats=2, warmup=0,
+        ))
+        speedup = results[-2].throughput / results[-1].throughput
+        print(f"  csc_encode_1024: {results[-2].seconds:8.4f} s vs reference "
+              f"{results[-1].seconds:8.4f} s -> {speedup:.1f}x", flush=True)
+
+    works = []
+    for _ in range(batch):
+        nonzero = np.flatnonzero(
+            generate_activations(cols, scale["activation_density"], activation_rng)
+        )
+        works.append(counts[:, nonzero])
+    results.append(run_benchmark(
+        "simulate_batch",
+        lambda: simulate_layer_cycles_batch(works, fifo_depth=scale["fifo_depth"]),
+        work_items=int(sum(int(w.sum()) for w in works)), unit="entries",
+        params=params, repeats=repeats, warmup=1,
+    ))
+    print(f"  simulate_batch:  {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run the small CI-sized problems instead of paper scale")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if throughput regressed vs the baseline JSON")
+    parser.add_argument("--baseline", type=Path, default=BENCH_PATH,
+                        help="baseline JSON for --check (default: committed file)")
+    parser.add_argument("--output", type=Path, default=BENCH_PATH,
+                        help="where to record the measurements")
+    parser.add_argument("--no-write", action="store_true",
+                        help="do not update the output JSON")
+    parser.add_argument("--max-slowdown", type=float, default=2.0,
+                        help="throughput regression factor tolerated by --check")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "paper"
+    results = run_suite(mode)
+
+    if not args.no_write:
+        merge_results(args.output, results, mode)
+        print(f"recorded {len(results)} entries under '{mode}/' in {args.output}")
+
+    if args.check:
+        failures = check_against_baseline(
+            results, args.baseline, mode, max_slowdown=args.max_slowdown
+        )
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check OK ({len(results)} entries within "
+              f"{args.max_slowdown:.1f}x of baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

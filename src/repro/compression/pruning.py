@@ -86,13 +86,13 @@ def prune_to_density(weights: np.ndarray, density: float) -> PruningResult:
     result = prune_by_threshold(weights, threshold)
     if result.num_nonzero > keep:
         # Ties at the threshold can keep slightly too many weights; break them
-        # deterministically by zeroing the excess smallest survivors.
+        # deterministically by zeroing the excess smallest survivors (one
+        # fancy-indexed assignment, same order as the stable argsort).
         surviving = np.argwhere(result.mask)
         surviving_magnitudes = np.abs(result.weights[result.mask])
         order = np.argsort(surviving_magnitudes, kind="stable")
         excess = result.num_nonzero - keep
-        for index in order[:excess]:
-            row, col = surviving[index]
-            result.weights[row, col] = 0.0
-            result.mask[row, col] = False
+        trim_rows, trim_cols = surviving[order[:excess]].T
+        result.weights[trim_rows, trim_cols] = 0.0
+        result.mask[trim_rows, trim_cols] = False
     return PruningResult(weights=result.weights, mask=result.mask, threshold=threshold)

@@ -22,6 +22,47 @@ from repro.utils.rng import make_rng
 __all__ = ["kmeans_codebook", "WeightCodebook"]
 
 
+def _nearest_centroid_indices(values: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Index of the nearest centroid for every value, in O(n log k).
+
+    Exactly reproduces ``np.argmin(np.abs(values[:, None] - centroids), axis=1)``
+    — including its tie-breaking — without materialising the O(n·k) distance
+    matrix: the centroids are stably sorted, each value's two sorted
+    neighbours are found with ``searchsorted``, the closer one wins (ties go
+    to the smaller value, then to the first occurrence in the *original*
+    centroid order, which is what a linear ``argmin`` scan returns).
+    """
+    order = np.argsort(centroids, kind="stable")
+    sorted_centroids = centroids[order]
+    k = sorted_centroids.shape[0]
+    if k == 1:
+        return np.zeros(values.shape, dtype=np.int64)
+    insertion = np.searchsorted(sorted_centroids, values)
+    left = np.clip(insertion - 1, 0, k - 1)
+    right = np.clip(insertion, 0, k - 1)
+    left_distance = np.abs(values - sorted_centroids[left])
+    right_distance = np.abs(values - sorted_centroids[right])
+    prefer_left = left_distance <= right_distance
+    chosen = np.where(prefer_left, left, right)
+    # Duplicate centroids: argmin returns the first index holding the chosen
+    # value, which (stable sort) is the first slot of its sorted run.
+    if np.any(sorted_centroids[1:] == sorted_centroids[:-1]):
+        chosen = np.searchsorted(sorted_centroids, sorted_centroids[chosen])
+    already_sorted = bool(np.all(order == np.arange(k)))
+    result = chosen if already_sorted else order[chosen]
+    # Exact distance ties between two *distinct* centroid values: argmin
+    # returns whichever has the smaller original index.
+    tie = (left_distance == right_distance) & (
+        sorted_centroids[left] != sorted_centroids[right]
+    )
+    if np.any(tie):
+        other = np.searchsorted(
+            sorted_centroids, sorted_centroids[np.where(prefer_left, right, left)]
+        )
+        result = np.where(tie, np.minimum(result, order[other]), result)
+    return result.astype(np.int64, copy=False)
+
+
 def kmeans_codebook(
     values: np.ndarray,
     num_clusters: int,
@@ -37,6 +78,14 @@ def kmeans_codebook(
     density-based initialisation.  ``init="random"`` samples initial centroids
     from the data.
 
+    The iteration runs on the *unique* values with their multiplicities:
+    nearest-centroid assignment uses ``searchsorted`` on the sorted centroids
+    (O(n log k) per iteration instead of the O(n·k) distance matrix) with
+    ``argmin``'s exact tie-break semantics, and the centroid updates are
+    count-weighted means via ``np.bincount``.  Initialisation and tie-breaks
+    match the per-value reference implementation, so codebooks are unchanged
+    (up to float summation order inside a cluster mean).
+
     Returns the sorted centroid array of length ``num_clusters``.
     """
     values = np.asarray(values, dtype=np.float64).ravel()
@@ -45,7 +94,7 @@ def kmeans_codebook(
     if num_clusters < 1:
         raise CompressionError(f"num_clusters must be >= 1, got {num_clusters}")
     rng = make_rng(rng)
-    unique_values = np.unique(values)
+    unique_values, unique_counts = np.unique(values, return_counts=True)
     if unique_values.size <= num_clusters:
         # Degenerate case: fewer distinct values than clusters.
         centroids = np.full(num_clusters, unique_values[-1], dtype=np.float64)
@@ -58,14 +107,20 @@ def kmeans_codebook(
     else:
         raise CompressionError(f"unknown init {init!r}; expected 'linear' or 'random'")
     centroids = np.sort(np.asarray(centroids, dtype=np.float64))
+    counts = unique_counts.astype(np.float64)
+    weighted_values = unique_values * counts
     for _ in range(max_iterations):
-        # Assign each value to its nearest centroid.
-        assignments = np.argmin(np.abs(values[:, None] - centroids[None, :]), axis=1)
-        new_centroids = centroids.copy()
-        for cluster in range(num_clusters):
-            members = values[assignments == cluster]
-            if members.size:
-                new_centroids[cluster] = members.mean()
+        # Assign each distinct value to its nearest centroid, then update
+        # every centroid to the multiplicity-weighted mean of its members.
+        assignments = _nearest_centroid_indices(unique_values, centroids)
+        member_counts = np.bincount(assignments, weights=counts, minlength=num_clusters)
+        member_sums = np.bincount(
+            assignments, weights=weighted_values, minlength=num_clusters
+        )
+        occupied = member_counts > 0
+        new_centroids = np.where(
+            occupied, member_sums / np.where(occupied, member_counts, 1.0), centroids
+        )
         new_centroids = np.sort(new_centroids)
         if np.allclose(new_centroids, centroids, rtol=0.0, atol=1e-12):
             centroids = new_centroids
@@ -132,11 +187,15 @@ class WeightCodebook:
         return 0
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
-        """Map ``values`` to codebook indices (zeros map to the zero entry)."""
+        """Map ``values`` to codebook indices (zeros map to the zero entry).
+
+        Nearest-centroid search runs in O(n log k) via
+        :func:`_nearest_centroid_indices`, bit-identical to the former
+        O(n·k) ``argmin`` over the full distance matrix.
+        """
         values = np.asarray(values, dtype=np.float64)
         flat = values.ravel()
-        indices = np.argmin(np.abs(flat[:, None] - self.centroids[None, :]), axis=1)
-        indices = indices.astype(np.int64)
+        indices = _nearest_centroid_indices(flat, self.centroids)
         indices[flat == 0.0] = self.zero_index
         return indices.reshape(values.shape)
 

@@ -129,20 +129,135 @@ def layer_work_matrices(layer: CompressedLayer) -> tuple[np.ndarray, np.ndarray]
     are padding zeros.  This is the layer-dependent (but activation- and
     configuration-independent) half of the cycle model, shared by
     :class:`CycleAccurateEIE` and the ``"cycle"`` engine adapter so a layer
-    only pays the extraction cost once per preparation.
+    only pays the extraction cost once per preparation.  Both matrices come
+    from one bincount over flat (PE, column) ids covering every stored entry
+    (no per-PE Python loop) and are cached read-only on the storage, so
+    repeated simulations of the same layer skip the extraction entirely.
     """
-    counts = layer.storage.entries_per_pe_column()
-    padding = np.zeros_like(counts)
-    for pe, matrix in enumerate(layer.storage.per_pe):
-        # Per-column padding counts for this PE.
-        col_counts = matrix.column_entry_counts()
-        padding_values = matrix.values == 0.0
-        if padding_values.any():
-            col_ids = np.repeat(np.arange(matrix.num_cols), col_counts)
-            padding[pe, :] = np.bincount(
-                col_ids[padding_values], minlength=matrix.num_cols
+    return layer.storage.entries_per_pe_column(), layer.storage.padding_per_pe_column()
+
+
+def _blocked_recurrence_totals(
+    packed: np.ndarray, lengths: np.ndarray, fifo_depth: int
+) -> np.ndarray:
+    """Total cycles per batch item under the broadcast/FIFO recurrence.
+
+    One implementation serves both the single-input and the batched
+    simulation paths.  The exact per-broadcast recurrence is
+
+    * ``t_b = max(t_{b-1} + 1, M_{b-D})`` — the CCU broadcasts at most one
+      activation per cycle and must wait until the slowest PE has retired
+      broadcast ``b - D`` (its FIFO slot frees up), where
+      ``M_j = max_p done[p, j]``;
+    * ``done[p, b] = max(done[p, b-1], t_b) + work[p, b]``.
+
+    Because ``t`` within a window of ``D = fifo_depth`` broadcasts depends
+    only on completions from *before* the window, the recurrence advances one
+    FIFO-depth-sized block at a time with pure array operations: writing
+    ``t_b = b + 1 + g_b`` turns the backpressure into a running maximum of
+    ``M_{b-D} - b - 1`` over the rolling completion array of the previous
+    block, and the per-PE ``done`` recurrence inside a block becomes a
+    prefix-sum plus running maximum (``done = W + max(done_prev, accmax(t - W
+    + w))``).  All batch items advance together; items shorter than the
+    longest are read off at their own last broadcast (the recurrence past an
+    item's end only touches that item's lanes).
+
+    Args:
+        packed: ``(max_broadcasts, batch, num_pes)`` int64 work tensor,
+            zero-padded beyond each item's length.  Broadcast-major layout
+            keeps each block's slab contiguous (and L2-resident together
+            with the scratch buffers).
+        lengths: per-item broadcast counts.
+        fifo_depth: activation queue depth ``D``.
+
+    Returns:
+        int64 totals of shape ``(batch,)`` (0 for zero-length items).
+    """
+    max_broadcasts, batch, num_pes = packed.shape
+    totals = np.zeros(batch, dtype=np.int64)
+    if max_broadcasts == 0 or batch == 0:
+        return totals
+    depth = int(fifo_depth)
+    last_index = np.asarray(lengths, dtype=np.int64) - 1
+    item_ids = np.arange(batch)
+
+    if depth == 1:
+        # Depth-1 closed form: the CCU waits for the slowest PE after every
+        # broadcast, so t_b = t_{b-1} + max(1, max_p work[p, b-1]) and every
+        # PE starts at t_b exactly (done[p, b] = t_b + work[p, b]).
+        slowest = packed.max(axis=2)  # (max_broadcasts, batch)
+        strides = np.maximum(slowest, 1)
+        starts = np.ones(batch, dtype=np.int64)
+        np.cumsum(strides[:-1], axis=0, out=strides[:-1])
+        if max_broadcasts > 1:
+            starts = starts + np.where(
+                last_index > 0, strides[np.maximum(last_index - 1, 0), item_ids], 0
             )
-    return counts, padding
+        finishes = starts + slowest[np.maximum(last_index, 0), item_ids]
+        return np.where(last_index >= 0, finishes, 0)
+
+    # Block span: at most the FIFO depth (the backpressure lag), and at most
+    # 32 broadcasts so the per-block slabs stay cache-resident.  The span
+    # must divide the depth so block boundaries align with the b - D window.
+    no_backpressure = depth >= max_broadcasts
+    if no_backpressure:
+        span_cap = min(max_broadcasts, 512)
+    elif depth <= 32:
+        span_cap = depth
+    else:
+        span_cap = next(size for size in range(32, 0, -1) if depth % size == 0)
+    all_steps = np.arange(1, max_broadcasts + 1, dtype=np.int64)
+
+    # Scratch buffers reused by every block (out= everywhere): per-block
+    # allocations would otherwise dominate the runtime at small FIFO depths,
+    # and reuse keeps the slabs hot in cache.  ``all_peaks[b]`` records
+    # ``M_b = max_p done[p, b]`` for the whole run — the rolling completion
+    # array the backpressure term reads ``D`` broadcasts behind the front.
+    done = np.zeros((batch, num_pes), dtype=np.int64)
+    backpressure = np.zeros(batch, dtype=np.int64)
+    work_prefix = np.empty((span_cap, batch, num_pes), dtype=np.int64)
+    arrivals = np.empty((span_cap, batch, num_pes), dtype=np.int64)
+    times = np.empty((span_cap, batch), dtype=np.int64)
+    stall = np.empty((span_cap, batch), dtype=np.int64)
+    all_peaks = np.empty((max_broadcasts, batch), dtype=np.int64)
+
+    for start in range(0, max_broadcasts, span_cap):
+        end = min(start + span_cap, max_broadcasts)
+        span = end - start
+        work = packed[start:end]
+        steps = all_steps[start:end]
+        prefix = work_prefix[:span]
+        arrive = arrivals[:span]
+        t_block = times[:span]
+        if no_backpressure or start < depth:
+            # Backpressure cannot bind before broadcast D: t_b = b + 1.
+            # (Block starts are multiples of the span, which divides D, so a
+            # block never straddles the b = D boundary.)
+            t_block[:] = steps[:, None]
+        else:
+            # M_{b-D} for b in this block was recorded D broadcasts ago in
+            # the completion array; the stall level is its running maximum
+            # over M_{b-D} - (b + 1), carried across blocks.
+            s_block = stall[:span]
+            np.subtract(all_peaks[start - depth : end - depth], steps[:, None], out=s_block)
+            np.maximum.accumulate(s_block, axis=0, out=s_block)
+            np.maximum(s_block, backpressure[None, :], out=s_block)
+            backpressure = s_block[-1].copy()
+            np.add(steps[:, None], s_block, out=t_block)
+        np.cumsum(work, axis=0, out=prefix)
+        # arrivals = t_b - (prefix - work): the candidate start offset each
+        # broadcast imposes on the running per-PE schedule.
+        np.subtract(prefix, work, out=arrive)
+        np.subtract(t_block[:, :, None], arrive, out=arrive)
+        np.maximum.accumulate(arrive, axis=0, out=arrive)
+        np.maximum(arrive, done[None, :, :], out=arrive)
+        np.add(prefix, arrive, out=arrive)  # arrive now holds done[b, i, p]
+        arrive.max(axis=2, out=all_peaks[start:end])
+        done = arrive[-1].copy()
+    totals = np.where(
+        last_index >= 0, all_peaks[np.maximum(last_index, 0), item_ids], 0
+    )
+    return totals
 
 
 def simulate_layer_cycles(
@@ -150,8 +265,13 @@ def simulate_layer_cycles(
     fifo_depth: int,
     padding_work: np.ndarray | None = None,
     clock_mhz: float = 800.0,
+    assume_valid: bool = False,
 ) -> CycleStats:
     """Simulate the broadcast/FIFO timing for one layer.
+
+    The single-input path is the batched recurrence
+    (:func:`_blocked_recurrence_totals`) run on a batch of one — one
+    implementation, no drift between the two entry points.
 
     Args:
         work: integer array of shape ``(num_pes, num_broadcasts)``;
@@ -161,16 +281,23 @@ def simulate_layer_cycles(
         padding_work: optional array of the same shape counting how many of
             those entries are padding zeros (used for Figure 12 statistics).
         clock_mhz: clock frequency for time conversion.
+        assume_valid: skip the dtype conversion and the non-negativity /
+            dimensionality checks.  Set by the engine adapter, whose prepared
+            layers already hold validated int64 work matrices — the checks
+            would otherwise re-scan every entry on every run call.
 
     Returns:
         A :class:`CycleStats` with total cycles, per-PE busy cycles and the
         derived efficiency metrics.
     """
-    work = np.asarray(work, dtype=np.int64)
-    if work.ndim != 2:
-        raise SimulationError(f"work must be 2-D (num_pes, broadcasts), got shape {work.shape}")
-    if np.any(work < 0):
-        raise SimulationError("work counts must be non-negative")
+    if not assume_valid:
+        work = np.asarray(work, dtype=np.int64)
+        if work.ndim != 2:
+            raise SimulationError(
+                f"work must be 2-D (num_pes, broadcasts), got shape {work.shape}"
+            )
+        if np.any(work < 0):
+            raise SimulationError("work counts must be non-negative")
     if fifo_depth < 1:
         raise SimulationError(f"fifo_depth must be >= 1, got {fifo_depth}")
     if clock_mhz <= 0.0:
@@ -179,7 +306,8 @@ def simulate_layer_cycles(
     if num_pes == 0:
         raise SimulationError("work must cover at least one PE (got an empty PE axis)")
     if padding_work is not None:
-        padding_work = np.asarray(padding_work, dtype=np.int64)
+        if not assume_valid:
+            padding_work = np.asarray(padding_work, dtype=np.int64)
         if padding_work.shape != work.shape:
             raise SimulationError("padding_work must have the same shape as work")
         padding_total = int(padding_work.sum())
@@ -203,28 +331,14 @@ def simulate_layer_cycles(
             clock_mhz=clock_mhz,
         )
 
-    # done[p] after processing broadcast b; a ring buffer of the last
-    # ``fifo_depth`` completion vectors provides the backpressure term.
-    done = np.zeros(num_pes, dtype=np.int64)
-    completion_history = np.zeros((fifo_depth, num_pes), dtype=np.int64)
-    broadcast_time = 0
-    for b in range(num_broadcasts):
-        if b == 0:
-            broadcast_time = 1
-        else:
-            broadcast_time = broadcast_time + 1
-        if b >= fifo_depth:
-            # The CCU may only broadcast once every PE has retired broadcast
-            # b - fifo_depth (its FIFO slot is then free again).
-            oldest = completion_history[(b - fifo_depth) % fifo_depth]
-            broadcast_time = max(broadcast_time, int(oldest.max()))
-        start = np.maximum(done, broadcast_time)
-        done = start + work[:, b]
-        completion_history[b % fifo_depth] = done
-    total_cycles = int(done.max())
+    totals = _blocked_recurrence_totals(
+        np.ascontiguousarray(work.T)[:, np.newaxis, :],
+        np.asarray([num_broadcasts], dtype=np.int64),
+        fifo_depth,
+    )
 
     return CycleStats(
-        total_cycles=total_cycles,
+        total_cycles=int(totals[0]),
         busy_cycles=busy,
         broadcasts=num_broadcasts,
         entries_processed=entries_total,
@@ -241,16 +355,15 @@ def simulate_layer_cycles_batch(
     fifo_depth: int,
     padding_totals: "Sequence[int] | None" = None,
     clock_mhz: float = 800.0,
+    assume_valid: bool = False,
 ) -> "list[CycleStats]":
     """Run the broadcast/FIFO recurrence for many inputs at once.
 
     Semantically identical to calling :func:`simulate_layer_cycles` on each
-    ``works[i]`` (the engine parity tests pin this element-wise), but the
-    recurrence advances every batch item per step with array operations: the
-    items are packed into one ``(batch, num_pes, max_broadcasts)`` tensor and
-    items shorter than the longest are masked out once finished.  For a batch
-    of ``n`` inputs of one layer this turns ``n x broadcasts`` Python-loop
-    iterations into ``max_broadcasts`` vectorised steps.
+    ``works[i]`` (the engine parity tests pin this element-wise): both paths
+    share :func:`_blocked_recurrence_totals`.  The items are packed into one
+    ``(batch, num_pes, max_broadcasts)`` tensor and the recurrence advances
+    every batch item one FIFO-depth-sized block of broadcasts at a time.
 
     Args:
         works: per-item work matrices, all with the same ``num_pes`` rows.
@@ -260,6 +373,8 @@ def simulate_layer_cycles_batch(
             path only reports the aggregate, and callers can derive it from
             per-column padding sums without gathering full matrices).
         clock_mhz: clock frequency for time conversion.
+        assume_valid: skip per-item dtype conversion and validity checks
+            (engine-adapter fast path for already-prepared int64 matrices).
     """
     if fifo_depth < 1:
         raise SimulationError(f"fifo_depth must be >= 1, got {fifo_depth}")
@@ -269,14 +384,17 @@ def simulate_layer_cycles_batch(
         raise SimulationError("padding_totals must have one entry per work matrix")
     if not works:
         return []
-    arrays = [np.asarray(work, dtype=np.int64) for work in works]
-    for work in arrays:
-        if work.ndim != 2:
-            raise SimulationError(
-                f"work must be 2-D (num_pes, broadcasts), got shape {work.shape}"
-            )
-        if np.any(work < 0):
-            raise SimulationError("work counts must be non-negative")
+    if assume_valid:
+        arrays = list(works)
+    else:
+        arrays = [np.asarray(work, dtype=np.int64) for work in works]
+        for work in arrays:
+            if work.ndim != 2:
+                raise SimulationError(
+                    f"work must be 2-D (num_pes, broadcasts), got shape {work.shape}"
+                )
+            if np.any(work < 0):
+                raise SimulationError("work counts must be non-negative")
     num_pes = arrays[0].shape[0]
     if num_pes == 0:
         raise SimulationError("work must cover at least one PE (got an empty PE axis)")
@@ -288,24 +406,11 @@ def simulate_layer_cycles_batch(
     batch = len(arrays)
     lengths = np.asarray([work.shape[1] for work in arrays], dtype=np.int64)
     max_broadcasts = int(lengths.max())
-    packed = np.zeros((batch, num_pes, max_broadcasts), dtype=np.int64)
+    packed = np.zeros((max_broadcasts, batch, num_pes), dtype=np.int64)
     for index, work in enumerate(arrays):
-        packed[index, :, : work.shape[1]] = work
+        packed[: work.shape[1], index, :] = work.T
 
-    done = np.zeros((batch, num_pes), dtype=np.int64)
-    completion_history = np.zeros((fifo_depth, batch, num_pes), dtype=np.int64)
-    broadcast_time = np.zeros(batch, dtype=np.int64)
-    for b in range(max_broadcasts):
-        active = b < lengths
-        broadcast_time = broadcast_time + 1
-        if b >= fifo_depth:
-            oldest = completion_history[(b - fifo_depth) % fifo_depth]
-            broadcast_time = np.maximum(broadcast_time, oldest.max(axis=1))
-        start = np.maximum(done, broadcast_time[:, np.newaxis])
-        advanced = start + packed[:, :, b]
-        done = np.where(active[:, np.newaxis], advanced, done)
-        completion_history[b % fifo_depth] = done
-    totals = done.max(axis=1)
+    totals = _blocked_recurrence_totals(packed, lengths, fifo_depth)
 
     results: list[CycleStats] = []
     for index, work in enumerate(arrays):

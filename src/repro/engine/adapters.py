@@ -142,7 +142,13 @@ class CycleEngine(SimulationEngine):
                 rows=layer.spec.rows,
                 cols=layer.spec.cols,
                 activation_name="relu",
-                payload=("schedule", np.asarray(work), np.asarray(layer.padding_work)),
+                # Normalised to int64 here, once: every run call then takes
+                # the simulator's assume_valid fast path.
+                payload=(
+                    "schedule",
+                    np.asarray(work, dtype=np.int64),
+                    np.asarray(layer.padding_work, dtype=np.int64),
+                ),
                 source=layer,
                 cache_token=self.prepare_token(),
             )
@@ -178,6 +184,7 @@ class CycleEngine(SimulationEngine):
                 fifo_depth=self.config.fifo_depth,
                 padding_work=padding,
                 clock_mhz=self.config.clock_mhz,
+                assume_valid=True,
             )
             return EngineResult(engine=self.name, batch_size=1, batched=False, cycles=(stats,))
         if kind == "schedule":
@@ -199,6 +206,7 @@ class CycleEngine(SimulationEngine):
                     fifo_depth=self.config.fifo_depth,
                     padding_work=padding[:, column_ids],
                     clock_mhz=self.config.clock_mhz,
+                    assume_valid=True,
                 ),
             )
         else:
@@ -221,6 +229,7 @@ class CycleEngine(SimulationEngine):
                     fifo_depth=self.config.fifo_depth,
                     padding_totals=padding_totals.tolist(),
                     clock_mhz=self.config.clock_mhz,
+                    assume_valid=True,
                 )
             )
         return EngineResult(

@@ -100,13 +100,19 @@ def generate_sparse_pattern(
     rng = make_rng(rng)
     chunks: list[np.ndarray] = []
     column_counts = np.zeros(cols, dtype=np.int64)
+    transposed = np.empty((min(column_block, cols), rows), dtype=bool)
     for start in range(0, cols, column_block):
         end = min(start + column_block, cols)
         block = rng.random((rows, end - start)) < density
-        # Transposing groups the non-zeros by column, rows ascending within
-        # each column — exactly the ordering SparsePattern requires.
-        column_offsets, row_ids = np.nonzero(block.T)
-        chunks.append(row_ids.astype(np.int64))
+        # A contiguous transpose copy (into a buffer reused across blocks)
+        # groups the non-zeros by column with rows ascending — exactly the
+        # ordering SparsePattern requires — and makes the non-zero scan run
+        # over contiguous memory.
+        block_t = transposed[: end - start]
+        np.copyto(block_t, block.T)
+        flat = np.flatnonzero(block_t)
+        column_offsets, row_ids = np.divmod(flat, rows)
+        chunks.append(row_ids)
         column_counts[start:end] = np.bincount(column_offsets, minlength=end - start)
     row_indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
     col_ptr = np.zeros(cols + 1, dtype=np.int64)
