@@ -5,75 +5,88 @@ Reproduces, at a reduced scale that runs in seconds, the scenario of the
 paper's introduction: the fully-connected layers FC6-FC8 of a compressed
 AlexNet run as a latency-critical (batch-1) workload.  The script
 
-* builds the three-layer FC tail with Table III densities,
-* compresses and loads it into a 64-PE EIE,
-* runs functional inference (checking against the software reference),
+* builds the three-layer FC tail as a whole-network model
+  (``repro.models``'s registered ``alexnet_fc`` at Table III densities),
+* compresses every node through one ``Session.compress_model`` call,
+* runs the whole model on the functional engine (checking against the dense
+  reference) and on the cycle engine — one ``Session.run_model`` call each,
+  with the measured inter-layer activation sparsity feeding every node,
 * and compares per-layer latency and energy against the analytic CPU / GPU /
   mobile-GPU baselines — the same comparison as Figure 6 / Figure 7, plus the
   full-scale Table III layer estimates at the end.
 
 Run with:  python examples/alexnet_fc_inference.py
+(set REPRO_EXAMPLE_SCALE to change the size, e.g. 64 for smoke tests)
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro import EIEAccelerator, EIEConfig
+from repro import EIEConfig, Session, build_model
 from repro.analysis.report import format_table
 from repro.baselines.roofline import RooflinePlatform
 from repro.baselines.specs import CPU_CORE_I7_5930K, GPU_TITAN_X, MOBILE_GPU_TEGRA_K1
 from repro.hardware.area import chip_power_w
 from repro.workloads.benchmarks import get_benchmark
 from repro.workloads.generator import WorkloadBuilder
-from repro.workloads.models import build_alexnet_fc_network
 
 #: Each dimension of the real AlexNet FC layers is divided by this factor.
-SCALE = 16.0
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "16"))
 NUM_PES = 64
 
 
 def run_scaled_network() -> None:
-    """Compress the scaled FC tail, run it on EIE and report per-layer stats."""
-    network = build_alexnet_fc_network(scale=SCALE)
-    accelerator = EIEAccelerator(EIEConfig(num_pes=NUM_PES))
-    for layer in network.layers:
-        accelerator.compress_and_load(
-            layer.weight, name=layer.name, activation_name=layer.activation
-        )
+    """Compress the scaled FC tail as one model and run it end to end on EIE."""
+    model = build_model("alexnet_fc", scale=SCALE)
+    config = EIEConfig(num_pes=NUM_PES)
+    session = Session(config=config)
+    compressed = session.compress_model(model, num_pes=NUM_PES)
 
     rng = np.random.default_rng(1)
     # FC6's input comes from a ReLU'd conv layer: ~35% non-zero.
-    inputs = rng.uniform(0.1, 1.0, size=network.input_size)
-    inputs[rng.random(network.input_size) >= 0.35] = 0.0
+    inputs = rng.uniform(0.1, 1.0, size=model.input_size)
+    inputs[rng.random(model.input_size) >= model.input_density] = 0.0
 
-    results = accelerator.run(inputs)
+    # One call runs all three layers, propagating the measured activations;
+    # the cycle run reuses the compressed model from the session cache.
+    functional = session.run_model("functional", model, inputs)
+    timing = session.run_model("cycle", model, inputs)
+
+    reference = model.trace(inputs)  # dense float reference on the IR weights
     print(f"Scaled AlexNet FC tail (1/{SCALE:g} per dimension), {NUM_PES} PEs")
     rows = []
-    current_input = inputs
-    for compressed, result in zip(accelerator.layers, results):
-        estimate = accelerator.estimate_layer(compressed, current_input, run_functional=False)
+    for node_run, cycle_run in zip(functional.nodes, timing.nodes):
+        result = node_run.result.functional[0]
+        stats = cycle_run.result.cycles[0]
         rows.append(
             [
-                compressed.name,
-                f"{compressed.cols} -> {compressed.rows}",
-                f"{compressed.weight_density:.0%}",
-                f"{result.activation_density:.0%}",
+                node_run.name,
+                f"{node_run.layer.cols} -> {node_run.layer.rows}",
+                f"{node_run.layer.weight_density:.0%}",
+                f"{node_run.input_density:.0%}",
                 result.total_entries_processed,
-                estimate.cycles.total_cycles,
-                f"{estimate.performance.time_us:.2f}",
-                f"{estimate.cycles.load_balance_efficiency:.0%}",
+                stats.total_cycles,
+                f"{stats.time_s * 1e6:.2f}",
+                f"{stats.load_balance_efficiency:.0%}",
             ]
         )
-        current_input = result.output
     print(
         format_table(
             ["Layer", "Shape", "Weight%", "Act%", "Entries", "Cycles", "Latency (us)", "Load bal."],
             rows,
         )
     )
-    output = results[-1].output
-    print(f"\nTop-5 output neurons: {np.argsort(output)[-5:][::-1].tolist()}")
+    print(f"\nWhole network: {timing.total_cycles} cycles, "
+          f"{timing.latency_s * 1e6:.2f} us, {timing.energy_j * 1e6:.3f} uJ")
+    output = functional.output
+    print(f"Top-5 output neurons: {np.argsort(output)[-5:][::-1].tolist()}")
+    # The quantized (4-bit shared weights) output tracks the dense reference.
+    error = np.max(np.abs(output - reference.output)) / (np.max(np.abs(reference.output)) or 1.0)
+    print(f"Max relative deviation from dense float reference: {error:.1%} "
+          "(4-bit weight sharing)")
 
 
 def compare_against_baselines() -> None:

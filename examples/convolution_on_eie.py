@@ -6,9 +6,11 @@ expressed as channel-wise matrix-vector products: a 1x1 convolution is one
 M x V per pixel, and a 3x3 Winograd convolution is 16 M x V per 4x4 tile
 (saving 2.25x multiplications over direct convolution).  This example
 
-* builds a sparse 1x1 convolution layer, compresses it, runs every pixel's
-  channel vector through the EIE functional simulator, and verifies the
-  result against the direct convolution;
+* lowers a sparse 1x1 convolution to a one-node model
+  (``ModelIR.from_conv``), compresses it through a ``Session``, runs *all*
+  pixels' channel vectors as one batched ``run_model`` call on the
+  functional and cycle engines, and verifies the result against the direct
+  convolution;
 * runs a Winograd F(2x2, 3x3) convolution and verifies it against the direct
   reference, then reports how many EIE M x V operations the layer maps to and
   the latency the cycle model predicts.
@@ -20,9 +22,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import EIEAccelerator, EIEConfig
+from repro import EIEConfig, Session
 from repro.analysis.report import format_table
 from repro.compression import CompressionConfig
+from repro.models import ModelIR, conv_activation_batch
 from repro.nn.convolution import (
     ConvWorkload,
     conv1x1_as_matvec,
@@ -35,32 +38,37 @@ NUM_PES = 16
 
 
 def conv1x1_on_eie() -> None:
-    """Run a sparse 1x1 convolution pixel by pixel on the EIE simulator."""
+    """Run a sparse 1x1 convolution as one batched model run on EIE."""
     rng = np.random.default_rng(3)
     in_channels, out_channels, height, width = 128, 96, 6, 6
     feature_map = np.maximum(rng.normal(size=(in_channels, height, width)), 0.0)
     weight = rng.normal(0.0, 0.1, size=(out_channels, in_channels))
 
-    accelerator = EIEAccelerator(
-        EIEConfig(num_pes=NUM_PES), CompressionConfig(target_density=0.15)
+    # Lower the convolution: one (C_out, C_in) node; every pixel's channel
+    # vector is one activation vector, so the feature map is a (H*W, C_in)
+    # batch that a single run_model call executes.
+    model = ModelIR.from_conv(
+        weight.reshape(out_channels, in_channels, 1, 1), height, width,
+        activation="identity", name="conv1x1",
     )
-    layer = accelerator.compress_and_load(weight, name="conv1x1", activation_name="identity")
+    session = Session(
+        CompressionConfig(target_density=0.15), config=EIEConfig(num_pes=NUM_PES)
+    )
+    pixels = conv_activation_batch(feature_map, model)
+    functional = session.run_model("functional", model, pixels)
+    timing = session.run_model("cycle", model, pixels)  # reuses the compressed model
 
-    output = np.zeros((out_channels, height, width))
-    total_entries = 0
-    total_cycles = 0
-    for row in range(height):
-        for col in range(width):
-            pixel = feature_map[:, row, col]
-            result = accelerator.run_layer(0, pixel)
-            output[:, row, col] = result.output
-            total_entries += result.total_entries_processed
-            estimate = accelerator.estimate_layer(layer, pixel, run_functional=False)
-            total_cycles += estimate.cycles.total_cycles
+    layer = functional.nodes[0].layer
+    output = functional.outputs.T.reshape(out_channels, height, width)
+    total_entries = sum(
+        f.total_entries_processed for f in functional.nodes[0].result.functional
+    )
+    total_cycles = timing.total_cycles
 
     reference = conv1x1_as_matvec(feature_map, layer.dense_weights())
     assert np.allclose(output, reference), "1x1 convolution mismatch"
     workload = ConvWorkload.for_conv1x1(out_channels, in_channels, height, width)
+    assert workload.num_matvecs == functional.batch_size
     print("=== 1x1 convolution as per-pixel M x V ===")
     print(format_table(
         ["Quantity", "Value"],

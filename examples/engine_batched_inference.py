@@ -14,10 +14,12 @@ batched, cached simulation:
 4. cross-check a few vectors on the ``"rtl"`` backend.
 
 Run with:  python examples/engine_batched_inference.py
+(set REPRO_EXAMPLE_SCALE to shrink the problem, e.g. 8 for smoke tests)
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -27,8 +29,9 @@ from repro.analysis.report import format_table
 from repro.compression import CompressionConfig
 from repro.core.cycle_model import CycleAccurateEIE
 
-ROWS, COLS = 1024, 1024
-BATCH = 64
+_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+ROWS = COLS = max(128, int(round(1024 / _SCALE)))
+BATCH = max(8, int(round(64 / _SCALE)))
 NUM_PES = 32
 
 

@@ -63,6 +63,16 @@ from repro.experiments import (
     run_experiment,
 )
 from repro.hardware import ENERGY_TABLE_45NM, EnergyModel, PEAreaModel
+from repro.models import (
+    CompressedModel,
+    MatVecNode,
+    ModelIR,
+    ModelRegistry,
+    ModelRunResult,
+    ModelSpec,
+    build_model,
+    register_model,
+)
 from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
@@ -73,6 +83,7 @@ __all__ = [
     "BENCHMARK_NAMES",
     "CSCMatrix",
     "CompressedLayer",
+    "CompressedModel",
     "CompressionConfig",
     "CycleAccurateEIE",
     "CycleStats",
@@ -97,6 +108,11 @@ __all__ = [
     "LSTMCell",
     "LayerEstimate",
     "LayerSpec",
+    "MatVecNode",
+    "ModelIR",
+    "ModelRegistry",
+    "ModelRunResult",
+    "ModelSpec",
     "PEAreaModel",
     "PreparedLayer",
     "Session",
@@ -104,8 +120,10 @@ __all__ = [
     "WeightCodebook",
     "WorkloadBuilder",
     "__version__",
+    "build_model",
     "prune_to_density",
     "register_engine",
     "register_experiment",
+    "register_model",
     "run_experiment",
 ]

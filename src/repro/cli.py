@@ -41,6 +41,7 @@ from repro.core.config import EIEConfig
 from repro.engine import EngineRegistry, Session
 from repro.errors import ReproError
 from repro.experiments import ExperimentRegistry, ExperimentRunner, ExperimentSpec
+from repro.models import ModelIR, ModelRegistry, ModelSpec, synthetic_model_inputs
 from repro.hardware.area import chip_area_mm2, chip_power_w
 from repro.utils.rng import make_rng
 from repro.workloads.benchmarks import BENCHMARK_NAMES
@@ -174,6 +175,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", type=str, default=None, metavar="DIR",
         help="also write <experiment>.txt and <experiment>.json under DIR",
     )
+
+    model_parser = subparsers.add_parser(
+        "model", help="list, describe, compress or run whole-network models"
+    )
+    model_sub = model_parser.add_subparsers(dest="model_command", required=True)
+    model_sub.add_parser("list", help="list every registered model")
+    model_describe_parser = model_sub.add_parser(
+        "describe", help="show one model's description, default spec and lowered nodes"
+    )
+    model_describe_parser.add_argument("name", help="registered model name")
+
+    model_common = argparse.ArgumentParser(add_help=False)
+    model_common.add_argument(
+        "name", nargs="?", default=None, help="registered model name"
+    )
+    model_common.add_argument(
+        "--npz", type=str, default=None, metavar="FILE",
+        help="import the model from a .npz state dict instead of the registry",
+    )
+    model_common.add_argument(
+        "--scale", type=float, default=None,
+        help="down-scale the network dimensions by this factor (1 = paper size)",
+    )
+    model_common.add_argument("--seed", type=int, default=None, help="builder RNG seed")
+    model_common.add_argument(
+        "--param", dest="model_params", action="append", default=[], metavar="KEY=VALUE",
+        help="builder parameter override (e.g. mode=stacked for the LSTM)",
+    )
+    model_common.add_argument(
+        "--pes", type=int, default=64, help="number of processing elements"
+    )
+    model_common.add_argument(
+        "--density", type=float, default=None,
+        help="prune every node to this weight density before compression "
+             "(default: keep each matrix's existing sparsity)",
+    )
+
+    model_sub.add_parser(
+        "compress", parents=[model_common],
+        help="run Deep Compression on every node and report the storage totals",
+    )
+    model_run_parser = model_sub.add_parser(
+        "run", parents=[model_common],
+        help="run a whole model through a simulation engine with measured "
+             "inter-layer activation sparsity",
+    )
+    model_run_parser.add_argument(
+        "--engine", choices=EngineRegistry.names(), default="cycle",
+        help="registered simulation backend to run every node on",
+    )
+    model_run_parser.add_argument(
+        "--fifo-depth", type=int, default=8, help="activation FIFO depth"
+    )
+    model_run_parser.add_argument(
+        "--batch", type=int, default=1, help="number of input vectors"
+    )
+    model_run_parser.add_argument(
+        "--input-seed", type=int, default=1, help="RNG seed for the synthetic inputs"
+    )
+    model_run_parser.add_argument(
+        "--input-density", type=float, default=None,
+        help="density of the synthetic input vectors "
+             "(default: the model's expected Act%%)",
+    )
     return parser
 
 
@@ -228,17 +293,20 @@ def _run_ablation(args: argparse.Namespace) -> str:
     return _runner().run(name, **kwargs).to_table()
 
 
-def _parse_override(assignment: str) -> tuple[str, object]:
-    """Parse one ``--set key=value`` assignment.
+def _parse_override(
+    assignment: str, context: str = "experiment run: --set"
+) -> tuple[str, object]:
+    """Parse one ``--set``/``--param`` ``key=value`` assignment.
 
     Values are read as JSON where possible (numbers, lists, booleans,
     quoted strings); a bare comma-separated value becomes a list and
-    anything else stays a string.
+    anything else stays a string.  ``context`` names the command and flag in
+    the error message.
     """
     key, separator, raw = assignment.partition("=")
     key = key.strip()
     if not separator or not key:
-        raise SystemExit(f"experiment run: --set expects KEY=VALUE, got {assignment!r}")
+        raise SystemExit(f"{context} expects KEY=VALUE, got {assignment!r}")
 
     def parse_scalar(text: str) -> object:
         try:
@@ -294,6 +362,132 @@ def _run_experiment_command(args: argparse.Namespace) -> str:
         file=sys.stderr,
     )
     return result.to_table()
+
+
+def _resolve_model(args: argparse.Namespace) -> ModelIR:
+    """Build the model a ``model compress``/``model run`` invocation names.
+
+    Either a registered model (with optional ``--scale``/``--seed``/
+    ``--param`` overlays onto its default spec) or an imported ``.npz``
+    state dict (``--npz``).
+    """
+    if args.npz is not None:
+        if args.name is not None:
+            raise SystemExit(
+                "model: give a registered model name or --npz FILE, not both"
+            )
+        if args.scale is not None or args.seed is not None or args.model_params:
+            raise SystemExit(
+                "model: --scale/--seed/--param describe a registry build and "
+                "have no effect on an imported --npz model"
+            )
+        return ModelIR.from_npz(args.npz)
+    if args.name is None:
+        raise SystemExit("model: give a registered model name or --npz FILE")
+    params = dict(
+        _parse_override(entry, context="model: --param") for entry in args.model_params
+    )
+    spec = ModelSpec(model=args.name, scale=args.scale, seed=args.seed, params=params)
+    return ModelRegistry.build(spec)
+
+
+def _model_session(args: argparse.Namespace, config: EIEConfig) -> Session:
+    compression = CompressionConfig(target_density=args.density)
+    return Session(compression, config=config)
+
+
+def _run_model_command(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    if args.model_command == "list":
+        rows = [
+            [name, ModelRegistry.get(name).description]
+            for name in ModelRegistry.names()
+        ]
+        return format_table(["Model", "Description"], rows)
+    if args.model_command == "describe":
+        return json.dumps(ModelRegistry.describe(args.name), indent=2)
+
+    model = _resolve_model(args)
+    if args.pes < 1:
+        raise SystemExit("model: --pes must be >= 1")
+    if args.density is not None and not 0.0 < args.density <= 1.0:
+        raise SystemExit("model: --density must be in (0, 1]")
+
+    if args.model_command == "compress":
+        session = _model_session(args, EIEConfig(num_pes=args.pes))
+        compressed = session.compress_model(model, num_pes=args.pes)
+        report = compressed.storage_report()
+        node_rows = [
+            [entry["node"], "shared" if entry["shared"] else "",
+             f"{entry['weight_density']:.1%}", entry["compression_ratio"],
+             entry["huffman_compression_ratio"], f"{entry['padding_fraction']:.2%}"]
+            for entry in report["per_node"]
+        ]
+        summary_rows = [
+            ["Model", report["model"]],
+            ["Nodes (unique layers)", f"{report['num_nodes']} ({report['num_unique_layers']})"],
+            ["Parameters", model.num_parameters],
+            ["Dense storage (KiB)", report["dense_bits"] / 8192.0],
+            ["Compressed storage (KiB)", report["compressed_bits"] / 8192.0],
+            ["Compression ratio", report["compression_ratio"]],
+            ["With Huffman coding", report["huffman_compression_ratio"]],
+            ["Weight density", f"{report['weight_density']:.1%}"],
+        ]
+        return (
+            f"Deep Compression ({args.pes} PEs):\n"
+            + format_table(["Field", "Value"], summary_rows)
+            + "\n\n"
+            + format_table(
+                ["Node", "Dedup", "Weight%", "Ratio", "Huffman", "Padding"], node_rows
+            )
+        )
+
+    # model run
+    if args.batch < 1:
+        raise SystemExit("model run: --batch must be >= 1")
+    config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
+    session = _model_session(args, config)
+    inputs = synthetic_model_inputs(
+        model, batch=args.batch, seed=args.input_seed, density=args.input_density
+    )
+    run = session.run_model(args.engine, model, inputs, config)
+
+    node_rows = []
+    for node_run in run.nodes:
+        row = [
+            node_run.name,
+            f"{node_run.layer.rows} x {node_run.layer.cols}",
+            f"{node_run.layer.weight_density:.1%}",
+            f"{node_run.input_density:.1%}",
+        ]
+        if node_run.result.cycles:
+            row += [node_run.total_cycles, f"{node_run.latency_s * 1e6:.2f}"]
+        else:
+            broadcasts = sum(f.broadcasts for f in node_run.result.functional) or "-"
+            row += [broadcasts, "-"]
+        node_rows.append(row)
+    header = f"Model run ({run.model_name} on {args.engine}, {args.pes} PEs, batch {run.batch_size}):\n"
+    body = format_table(
+        ["Node", "Shape", "Weight%", "Act%", "Cycles" if run.has_timing else "Broadcasts",
+         "Latency (us)"],
+        node_rows,
+    )
+    totals: list[list[object]] = [["Output size", run.outputs.shape[-1]]]
+    if run.has_timing:
+        totals += [
+            ["Total cycles", run.total_cycles],
+            ["Latency (us, batch total)", f"{run.latency_s * 1e6:.2f}"],
+            ["Latency (us, per frame)", f"{run.latency_s / run.batch_size * 1e6:.2f}"],
+            ["Energy (uJ, batch total)", f"{run.energy_j * 1e6:.3f}"],
+        ]
+    last = run.nodes[-1]
+    if last.result.outputs is not None:
+        bias = model.nodes[-1].bias
+        if bias is None or not np.count_nonzero(bias):
+            matches = bool(np.allclose(last.result.outputs, run.outputs))
+            totals.append(["Matches decoded dense reference", matches])
+    return header + body + "\n\n" + format_table(["Field", "Value"], totals)
 
 
 def _run_engine(args: argparse.Namespace) -> str:
@@ -388,6 +582,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _run_engine(args)
         elif args.command == "experiment":
             output = _run_experiment_command(args)
+        elif args.command == "model":
+            output = _run_model_command(args)
         else:
             output = _run_summary(args)
     except (ReproError, OSError) as error:

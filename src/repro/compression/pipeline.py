@@ -175,9 +175,19 @@ class CompressedLayer:
     # -- reconstruction --------------------------------------------------------
 
     def dense_weights(self) -> np.ndarray:
-        """Decode the layer back into a dense weight matrix (float64)."""
-        indices = self.storage.to_dense().astype(np.int64)
-        return self.codebook.dequantize(indices)
+        """Decode the layer back into a dense weight matrix (float64).
+
+        The decoded matrix is cached (read-only) after the first call: the
+        model layer re-reads it on every ``run_model`` propagation step, and
+        the storage/codebook never change after construction.
+        """
+        cached = getattr(self, "_dense_weights", None)
+        if cached is None:
+            indices = self.storage.to_dense().astype(np.int64)
+            cached = self.codebook.dequantize(indices)
+            cached.setflags(write=False)
+            self._dense_weights = cached
+        return cached
 
     def reference_matvec(self, activations: np.ndarray) -> np.ndarray:
         """Golden-model ``W @ a`` on the decoded dense weights."""

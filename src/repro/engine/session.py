@@ -1,7 +1,7 @@
 """Sessions: shared compression and preparation caches over the engine seam.
 
 A :class:`Session` is the stateful companion of the stateless engine
-registry.  It owns three keyed caches:
+registry.  It owns four keyed caches:
 
 * **compressed layers** — keyed by the weight matrix's content fingerprint
   plus the compression parameters, PE count, name and non-linearity, so a
@@ -11,7 +11,11 @@ registry.  It owns three keyed caches:
   ``prepare_token()``, so e.g. the cycle engine's per-(PE, column) work
   matrices are extracted once per layer and shared by every configuration
   point with the same PE count;
-* **engine instances** — keyed by ``(engine name, configuration)``.
+* **engine instances** — keyed by ``(engine name, configuration)``;
+* **compressed models** — whole :class:`~repro.models.ir.ModelIR` graphs
+  keyed by model fingerprint, PE count and compression parameters, so a
+  two-model sweep compresses each network (and, through the layer cache,
+  each distinct weight matrix) exactly once.
 
 Typical use::
 
@@ -19,9 +23,19 @@ Typical use::
     layer = session.compress(weights, num_pes=64, name="fc6")
     result = session.run("cycle", layer, activation_batch, config=EIEConfig())
 
+Whole networks flow through the same caches::
+
+    model = build_model("neuraltalk_lstm")
+    compressed = session.compress_model(model, num_pes=64)
+    run = session.run_model("cycle", model, inputs)      # latency/energy totals
+
 ``Session.run`` is a convenience wrapping ``engine -> prepare -> run``; the
 individual steps remain available for callers that manage sweep loops
-themselves.
+themselves.  ``Session.run_model`` executes every node of a model in order,
+propagating the *measured* activation values (decoded weights + bias +
+non-linearity) from node to node, so each node's broadcast set carries the
+real inter-layer sparsity — the whole-network analogue of Table III's Act%
+column — identically on every engine.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from repro.core.config import EIEConfig
 from repro.engine.base import EngineResult, PreparedLayer, SimulationEngine
 from repro.engine.registry import EngineRegistry
 from repro.errors import ConfigurationError
+from repro.nn.layers import ACTIVATIONS
 from repro.utils.validation import require_matrix
 
 __all__ = ["Session"]
@@ -67,6 +82,8 @@ class Session:
         max_layers: compressed layers kept (LRU-evicted beyond this).
         max_prepared: prepared layers kept across all engines.
         max_engines: engine instances kept across all configurations.
+        max_models: compressed whole models kept (their per-node layers are
+            also pinned by the layer cache while hot).
     """
 
     def __init__(
@@ -77,8 +94,9 @@ class Session:
         max_layers: int = 128,
         max_prepared: int = 512,
         max_engines: int = 64,
+        max_models: int = 32,
     ) -> None:
-        if min(max_layers, max_prepared, max_engines) < 1:
+        if min(max_layers, max_prepared, max_engines, max_models) < 1:
             raise ConfigurationError("session cache bounds must be >= 1")
         self.compressor = DeepCompressor(compression or CompressionConfig())
         self.default_config = config or EIEConfig()
@@ -86,8 +104,14 @@ class Session:
         self._layer_cache: OrderedDict[tuple, CompressedLayer] = OrderedDict()
         self._prepared_cache: OrderedDict[tuple, PreparedLayer] = OrderedDict()
         self._engine_cache: OrderedDict[tuple, SimulationEngine] = OrderedDict()
-        self._bounds = {"layers": max_layers, "prepared": max_prepared, "engines": max_engines}
-        self._hits = {"layers": 0, "prepared": 0, "engines": 0}
+        self._model_cache: OrderedDict[tuple, Any] = OrderedDict()
+        self._bounds = {
+            "layers": max_layers,
+            "prepared": max_prepared,
+            "engines": max_engines,
+            "models": max_models,
+        }
+        self._hits = {"layers": 0, "prepared": 0, "engines": 0, "models": 0}
         # Guards the LRU bookkeeping (get + move_to_end, put + evict): the
         # experiment runner shares one session across worker threads.
         self._lock = threading.RLock()
@@ -184,21 +208,166 @@ class Session:
         prepared = self.prepare(name, layer, config)
         return engine.run(prepared, activations)
 
+    # -- whole-model operations ------------------------------------------------------
+
+    def compress_model(self, model: Any, num_pes: int) -> Any:
+        """Compress every node of a :class:`~repro.models.ir.ModelIR`.
+
+        Returns a :class:`~repro.models.compressed.CompressedModel`.  Nodes
+        whose weight matrices have the same content fingerprint (and the same
+        non-linearity) share one :class:`CompressedLayer` object, and the
+        whole result is cached by ``(model fingerprint, PE count, compression
+        parameters)`` so repeated sweeps over the same network compress it
+        once.
+        """
+        # Imported lazily: repro.models sits above the engine layer.
+        from repro.models.compressed import CompressedModel
+        from repro.models.ir import ModelIR
+
+        if not isinstance(model, ModelIR):
+            raise ConfigurationError(
+                f"compress_model expects a ModelIR, got {type(model).__name__}"
+            )
+        if num_pes < 1:
+            raise ConfigurationError(f"num_pes must be >= 1, got {num_pes}")
+        key = (model.fingerprint(), int(num_pes), self.compressor.config)
+        cached = self._cache_get("models", self._model_cache, key)
+        if cached is not None:
+            return cached
+        layers: dict[str, CompressedLayer] = {}
+        by_content: dict[tuple[str, str], CompressedLayer] = {}
+        for node in model:
+            content = (weights_fingerprint(node.weight), node.activation)
+            layer = by_content.get(content)
+            if layer is None:
+                layer = self.compress(
+                    node.weight,
+                    num_pes=int(num_pes),
+                    name=f"{model.name}/{node.name}",
+                    activation_name=node.activation,
+                )
+                by_content[content] = layer
+            layers[node.name] = layer
+        compressed = CompressedModel(model=model, num_pes=int(num_pes), layers=layers)
+        self._cache_put("models", self._model_cache, key, compressed)
+        return compressed
+
+    def run_model(
+        self,
+        name: str,
+        model: Any,
+        activations: np.ndarray,
+        config: EIEConfig | None = None,
+    ) -> Any:
+        """Run a whole model through engine ``name``, node by node.
+
+        ``model`` is a :class:`~repro.models.ir.ModelIR` (compressed through
+        the session caches) or an existing
+        :class:`~repro.models.compressed.CompressedModel`; ``activations`` is
+        one input vector or a ``(batch, input_size)`` matrix.
+
+        Every node executes on the engine with the *measured* activation
+        values of its input — the model input for root nodes, the propagated
+        outputs of the source node otherwise.  Propagation always uses the
+        compressed layer's decoded weights plus the node's bias and
+        non-linearity, so the inter-layer sparsity each broadcast set sees is
+        identical on every engine, and each node's engine run is exactly the
+        layer-at-a-time ``Session.run`` call with the same inputs.
+
+        Returns a :class:`~repro.models.compressed.ModelRunResult` with
+        per-node engine results and, for timing engines, whole-network
+        latency/energy totals.
+        """
+        from repro.models.compressed import (
+            CompressedModel,
+            ModelRunResult,
+            NodeRun,
+            measured_density,
+        )
+        from repro.models.ir import ModelIR
+
+        config = config or self.default_config
+        if isinstance(model, CompressedModel):
+            if model.num_pes != config.num_pes:
+                raise ConfigurationError(
+                    f"model is compressed for {model.num_pes} PEs but the "
+                    f"configuration has {config.num_pes}"
+                )
+            compressed = model
+        elif isinstance(model, ModelIR):
+            compressed = self.compress_model(model, config.num_pes)
+        else:
+            raise ConfigurationError(
+                f"run_model expects a ModelIR or CompressedModel, "
+                f"got {type(model).__name__}"
+            )
+        ir = compressed.model
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim == 1:
+            matrix, batched = activations[np.newaxis, :], False
+        elif activations.ndim == 2:
+            matrix, batched = activations, True
+        else:
+            raise ConfigurationError(
+                f"model input must be a vector or (batch, n_in) matrix, "
+                f"got shape {activations.shape}"
+            )
+        if matrix.shape[1] != ir.input_size:
+            raise ConfigurationError(
+                f"input length {matrix.shape[1]} does not match model "
+                f"input size {ir.input_size}"
+            )
+        if matrix.shape[0] == 0:
+            raise ConfigurationError("model input batch must contain at least one vector")
+
+        node_outputs: dict[str, np.ndarray] = {}
+        records = []
+        for node in ir:
+            layer = compressed.layers[node.name]
+            inputs = ir.node_input(node, matrix, node_outputs)
+            result = self.run(name, layer, inputs, config)
+            pre = inputs @ layer.dense_weights().T
+            if node.bias is not None:
+                pre = pre + node.bias
+            outputs = ACTIVATIONS[node.activation](pre)
+            node_outputs[node.name] = outputs
+            records.append(
+                NodeRun(
+                    name=node.name,
+                    layer=layer,
+                    result=result,
+                    input_density=measured_density(inputs),
+                    output_density=measured_density(outputs),
+                )
+            )
+        return ModelRunResult(
+            model_name=ir.name,
+            engine=name,
+            num_pes=config.num_pes,
+            batch_size=matrix.shape[0],
+            batched=batched,
+            nodes=tuple(records),
+            node_outputs=node_outputs,
+            outputs=node_outputs[ir.nodes[-1].name],
+        )
+
     # -- introspection -----------------------------------------------------------
 
     def cache_info(self) -> dict[str, dict[str, int]]:
-        """Entry and hit counts of the three caches (for tests and reports)."""
+        """Entry and hit counts of the four caches (for tests and reports)."""
         return {
             "layers": {"entries": len(self._layer_cache), "hits": self._hits["layers"]},
             "prepared": {"entries": len(self._prepared_cache), "hits": self._hits["prepared"]},
             "engines": {"entries": len(self._engine_cache), "hits": self._hits["engines"]},
+            "models": {"entries": len(self._model_cache), "hits": self._hits["models"]},
         }
 
     def clear(self) -> None:
-        """Drop every cached layer, prepared layer and engine instance."""
+        """Drop every cached layer, prepared layer, engine and model."""
         with self._lock:
             self._layer_cache.clear()
             self._prepared_cache.clear()
             self._engine_cache.clear()
+            self._model_cache.clear()
             for key in self._hits:
                 self._hits[key] = 0

@@ -26,6 +26,7 @@ layering and how to register your own experiment.
 """
 
 from repro.experiments.catalog import BUILTIN_EXPERIMENTS
+from repro.experiments.models_catalog import MODEL_EXPERIMENTS
 from repro.experiments.registry import Experiment, ExperimentRegistry, register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import ExperimentContext, ExperimentRunner, run_experiment
@@ -33,6 +34,7 @@ from repro.experiments.spec import ExperimentSpec
 
 __all__ = [
     "BUILTIN_EXPERIMENTS",
+    "MODEL_EXPERIMENTS",
     "Experiment",
     "ExperimentContext",
     "ExperimentRegistry",

@@ -23,22 +23,9 @@ from typing import Any, Mapping, Sequence
 from repro.compression.pipeline import CompressionConfig
 from repro.core.config import EIEConfig
 from repro.errors import ConfigurationError
+from repro.utils.serialization import jsonable as _jsonable
 
 __all__ = ["ExperimentSpec"]
-
-
-def _jsonable(value: Any) -> Any:
-    """Recursively convert tuples and numpy scalars to JSON-friendly types."""
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
-        try:
-            return value.item()
-        except (AttributeError, ValueError):  # pragma: no cover - non-numpy .item()
-            return value
-    return value
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,40 @@
+"""Synthetic whole-model input batches.
+
+One shared generator for every surface that needs deterministic model inputs
+at the network's expected Act% density (the CLI ``model run`` command, the
+``model_speedup`` experiment, tests).  Each row is drawn with
+:func:`~repro.workloads.synthetic.generate_activations`, which also
+guarantees at least one non-zero per vector so every batch item broadcasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.models.ir import ModelIR
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.synthetic import generate_activations
+
+__all__ = ["synthetic_model_inputs"]
+
+
+def synthetic_model_inputs(
+    model: ModelIR,
+    batch: int = 1,
+    seed: int = 1,
+    density: float | None = None,
+) -> np.ndarray:
+    """A deterministic ``(batch, input_size)`` activation batch for ``model``.
+
+    ``density`` defaults to the model's expected input Act%
+    (:attr:`ModelIR.input_density`); the seed stream is derived per model
+    name, so different models draw independent inputs from the same seed.
+    """
+    if batch < 1:
+        raise WorkloadError(f"batch must be >= 1, got {batch}")
+    density = model.input_density if density is None else float(density)
+    rng = make_rng(derive_seed(int(seed), "model-input", model.name))
+    return np.stack(
+        [generate_activations(model.input_size, density, rng) for _ in range(batch)]
+    )

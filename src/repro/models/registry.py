@@ -1,0 +1,145 @@
+"""String-keyed registry of whole-network models.
+
+The model registry completes the library's three-seam pattern: engines
+(:class:`~repro.engine.registry.EngineRegistry`), experiments
+(:class:`~repro.experiments.registry.ExperimentRegistry`) and now models.
+Every supported network registers a builder under a short name together with
+its default :class:`~repro.models.spec.ModelSpec`; consumers build models by
+name:
+
+    from repro.models import build_model
+    model = build_model("neuraltalk_lstm", scale=16)
+
+Importing :mod:`repro.models` pre-populates the registry with the paper's
+networks (``alexnet_fc``, ``vgg_fc``, ``neuraltalk_lstm``) at Table III
+densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.models.ir import ModelIR
+from repro.models.spec import ModelSpec
+
+__all__ = ["RegisteredModel", "ModelRegistry", "register_model", "build_model"]
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One registered model.
+
+    Attributes:
+        name: registry key (also the default model label).
+        description: one-line summary shown by ``repro model list``.
+        spec: the default spec (scale, seed, builder params).
+        build: ``spec -> ModelIR`` — constructs the network for a fully
+            merged spec.
+    """
+
+    name: str
+    description: str
+    spec: ModelSpec
+    build: Callable[[ModelSpec], ModelIR]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("model name must be non-empty")
+        if self.spec.model != self.name:
+            raise ConfigurationError(
+                f"model {self.name!r} has a default spec for {self.spec.model!r}"
+            )
+
+
+class ModelRegistry:
+    """Maps model names to :class:`RegisteredModel` definitions.
+
+    The class itself is the default global registry, mirroring
+    :class:`~repro.engine.registry.EngineRegistry` and
+    :class:`~repro.experiments.registry.ExperimentRegistry`.
+    """
+
+    _models: dict[str, RegisteredModel] = {}
+
+    @classmethod
+    def register(cls, model: RegisteredModel) -> RegisteredModel:
+        """Register ``model`` under its name."""
+        existing = cls._models.get(model.name)
+        if existing is not None and existing is not model:
+            raise ConfigurationError(f"model name {model.name!r} is already registered")
+        cls._models[model.name] = model
+        return model
+
+    @classmethod
+    def unregister(cls, name: str) -> None:
+        """Remove a model (mainly for tests of custom models)."""
+        cls._models.pop(name, None)
+
+    @classmethod
+    def get(cls, name: str) -> RegisteredModel:
+        """The model registered under ``name``."""
+        try:
+            return cls._models[name]
+        except KeyError:
+            known = ", ".join(sorted(cls._models)) or "<none>"
+            raise ConfigurationError(
+                f"unknown model {name!r}; registered models: {known}"
+            ) from None
+
+    @classmethod
+    def names(cls) -> tuple[str, ...]:
+        """All registered model names, sorted."""
+        return tuple(sorted(cls._models))
+
+    @classmethod
+    def build(cls, spec_or_name: "str | ModelSpec") -> ModelIR:
+        """Build a model from its name or a (possibly partial) spec.
+
+        A partial spec is merged over the registered defaults exactly like
+        experiment specs: unset scalars keep the defaults, ``params`` merge
+        key-wise and unknown parameters are rejected by name (the builders
+        read known keys only, so a typo would otherwise no-op silently).
+        """
+        if isinstance(spec_or_name, ModelSpec):
+            registered = cls.get(spec_or_name.model)
+            spec = registered.spec.merged(spec_or_name)
+        else:
+            registered = cls.get(spec_or_name)
+            spec = registered.spec
+        unknown = set(spec.params) - set(registered.spec.params)
+        if unknown:
+            known = ", ".join(sorted(registered.spec.params)) or "<none>"
+            raise ConfigurationError(
+                f"model {registered.name!r} has no parameter "
+                f"{', '.join(sorted(map(repr, unknown)))}; known parameters: {known}"
+            )
+        return registered.build(spec)
+
+    @classmethod
+    def describe(cls, name: str) -> dict[str, Any]:
+        """A JSON-friendly description of one model (CLI ``describe``)."""
+        registered = cls.get(name)
+        model = cls.build(name)
+        return {
+            "name": registered.name,
+            "description": registered.description,
+            "default_spec": registered.spec.to_dict(),
+            "default_build": model.describe(),
+        }
+
+
+def register_model(model: RegisteredModel) -> RegisteredModel:
+    """Register ``model`` with the global :class:`ModelRegistry`."""
+    return ModelRegistry.register(model)
+
+
+def build_model(name: str, **overrides: Any) -> ModelIR:
+    """One-shot convenience: merge ``overrides`` into the defaults and build.
+
+    ``overrides`` accepts the :class:`ModelSpec` fields (``scale``, ``seed``,
+    ``params``).
+    """
+    spec = ModelSpec(model=name, **overrides)
+    return ModelRegistry.build(spec)

@@ -104,6 +104,21 @@ class LSTMCell:
             result.append((f"U_{gate}", self.recurrent_weights[gate]))
         return result
 
+    def gate_matrix(self, gate: str) -> np.ndarray:
+        """One gate's ``[W_gate | U_gate]`` block matrix.
+
+        Applied to the concatenated ``[x_t, h_{t-1}]`` vector this computes
+        ``W x + U h`` as a *single* M x V of shape ``(hidden, input+hidden)``
+        — the per-gate unit the model IR lowers an LSTM step to.
+        """
+        if gate not in LSTM_GATE_NAMES:
+            raise ConfigurationError(
+                f"unknown gate {gate!r}; expected one of {LSTM_GATE_NAMES}"
+            )
+        return np.concatenate(
+            [self.input_weights[gate], self.recurrent_weights[gate]], axis=1
+        )
+
     def stacked_matrix(self) -> np.ndarray:
         """Stack the eight matrices into one, as the NT-LSTM benchmark does.
 

@@ -1,6 +1,7 @@
-"""Shared utilities: deterministic RNG helpers and argument validation."""
+"""Shared utilities: RNG helpers, argument validation, JSON normalisation."""
 
 from repro.utils.rng import derive_seed, make_rng
+from repro.utils.serialization import jsonable
 from repro.utils.validation import (
     require_between,
     require_in,
@@ -13,6 +14,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "derive_seed",
+    "jsonable",
     "make_rng",
     "require_between",
     "require_in",

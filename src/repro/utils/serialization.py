@@ -1,0 +1,29 @@
+"""JSON-normalisation helpers shared by the spec layers.
+
+Both :class:`~repro.experiments.spec.ExperimentSpec` and
+:class:`~repro.models.spec.ModelSpec` store their mapping fields in a
+canonical JSON-friendly form so that equality is representation-independent
+(JSON round-trips lists; callers pass tuples and numpy scalars).  The
+normaliser lives here — below both spec modules — so the two layers cannot
+diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert tuples and numpy scalars to JSON-friendly types."""
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):  # pragma: no cover - non-numpy .item()
+            return value
+    return value

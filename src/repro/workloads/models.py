@@ -9,6 +9,8 @@ the structure (layer chaining, ReLU sparsity, LSTM gate decomposition).
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.errors import WorkloadError
@@ -61,28 +63,33 @@ def _chained_specs(names: list[str], scale: float) -> list[LayerSpec]:
     return chained
 
 
-def build_alexnet_fc_network(scale: float = 32.0) -> FeedForwardNetwork:
+def _fc_tail(names: list[str], scale: float, seed: int | None, name: str) -> FeedForwardNetwork:
+    """Shared FC6 -> FC7 -> FC8 tail builder for AlexNet and VGG-16.
+
+    ``seed=None`` keeps the benchmarks' canonical deterministic patterns;
+    an explicit seed re-derives every layer's pattern from it (for variance
+    studies across synthetic weight draws).
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be > 0, got {scale}")
+    specs = _chained_specs(names, scale)
+    if seed is not None:
+        specs = [replace(spec, seed=derive_seed(seed, spec.name)) for spec in specs]
+    layers = []
+    for index, spec in enumerate(specs):
+        activation = "relu" if index < len(specs) - 1 else "identity"
+        layers.append(random_dense_layer(spec, activation=activation))
+    return FeedForwardNetwork(layers, name=name)
+
+
+def build_alexnet_fc_network(scale: float = 32.0, seed: int | None = None) -> FeedForwardNetwork:
     """The FC6 -> FC7 -> FC8 tail of compressed AlexNet, scaled by ``scale``."""
-    if scale <= 0:
-        raise WorkloadError(f"scale must be > 0, got {scale}")
-    specs = _chained_specs(["Alex-6", "Alex-7", "Alex-8"], scale)
-    layers = []
-    for spec in specs:
-        activation = "relu" if not spec.name.startswith("Alex-8") else "identity"
-        layers.append(random_dense_layer(spec, activation=activation))
-    return FeedForwardNetwork(layers, name=f"alexnet-fc-x{scale:g}")
+    return _fc_tail(["Alex-6", "Alex-7", "Alex-8"], scale, seed, f"alexnet-fc-x{scale:g}")
 
 
-def build_vgg_fc_network(scale: float = 32.0) -> FeedForwardNetwork:
+def build_vgg_fc_network(scale: float = 32.0, seed: int | None = None) -> FeedForwardNetwork:
     """The FC6 -> FC7 -> FC8 tail of compressed VGG-16, scaled by ``scale``."""
-    if scale <= 0:
-        raise WorkloadError(f"scale must be > 0, got {scale}")
-    specs = _chained_specs(["VGG-6", "VGG-7", "VGG-8"], scale)
-    layers = []
-    for spec in specs:
-        activation = "relu" if not spec.name.startswith("VGG-8") else "identity"
-        layers.append(random_dense_layer(spec, activation=activation))
-    return FeedForwardNetwork(layers, name=f"vgg-fc-x{scale:g}")
+    return _fc_tail(["VGG-6", "VGG-7", "VGG-8"], scale, seed, f"vgg-fc-x{scale:g}")
 
 
 def build_neuraltalk_lstm(scale: float = 8.0, seed: int = 7) -> LSTMCell:

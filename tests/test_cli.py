@@ -212,3 +212,84 @@ class TestStaticCommands:
     def test_run_rejects_bad_sizes(self):
         with pytest.raises(SystemExit):
             main(["run", "--rows", "0", "--cols", "8", "--pes", "1"])
+
+
+class TestModelCommands:
+    def test_model_list_names_every_registered_model(self, capsys):
+        assert main(["model", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alexnet_fc", "vgg_fc", "neuraltalk_lstm"):
+            assert name in out
+
+    def test_model_describe_emits_spec_and_nodes_json(self, capsys):
+        assert main(["model", "describe", "neuraltalk_lstm"]) == 0
+        description = json.loads(capsys.readouterr().out)
+        assert description["default_spec"]["params"]["mode"] == "per_gate"
+        assert description["default_build"]["num_nodes"] == 4
+
+    def test_model_describe_unknown_name_exits_2(self, capsys):
+        assert main(["model", "describe", "resnet"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_model_run_cycle_engine_reports_per_node_and_totals(self, capsys):
+        assert main(["model", "run", "neuraltalk_lstm", "--engine", "cycle",
+                     "--scale", "32", "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        for gate in ("gate_input", "gate_forget", "gate_output", "gate_cell"):
+            assert gate in out
+        assert "Total cycles" in out
+        assert "Energy (uJ" in out
+
+    def test_model_run_functional_engine_checks_reference(self, capsys):
+        assert main(["model", "run", "alexnet_fc", "--engine", "functional",
+                     "--scale", "64", "--pes", "4", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Matches decoded dense reference" in out and "True" in out
+
+    def test_model_run_stacked_lstm_via_param(self, capsys):
+        assert main(["model", "run", "neuraltalk_lstm", "--engine", "cycle",
+                     "--scale", "32", "--pes", "4", "--param", "mode=stacked"]) == 0
+        out = capsys.readouterr().out
+        assert "gates_stacked" in out
+
+    def test_model_compress_reports_storage(self, capsys):
+        assert main(["model", "compress", "vgg_fc", "--scale", "64", "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Compression ratio" in out
+        assert "VGG-6-x64" in out
+
+    def test_model_run_from_npz_import(self, capsys, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "imported.npz"
+        rng = np.random.default_rng(0)
+        w0 = rng.normal(size=(16, 24))
+        w0[rng.random((16, 24)) >= 0.3] = 0.0
+        w0[0, 0] = 0.5
+        w1 = rng.normal(size=(8, 16))
+        w1[rng.random((8, 16)) >= 0.3] = 0.0
+        w1[0, 0] = 0.5
+        np.savez(path, **{"fc6.weight": w0, "fc7.weight": w1})
+        assert main(["model", "run", "--npz", str(path), "--engine", "cycle",
+                     "--pes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fc6" in out and "fc7" in out and "Total cycles" in out
+
+    def test_model_rejects_name_and_npz_together(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["model", "run", "alexnet_fc", "--npz", str(tmp_path / "x.npz")])
+
+    def test_model_rejects_registry_flags_with_npz(self, tmp_path):
+        with pytest.raises(SystemExit, match="no effect"):
+            main(["model", "run", "--npz", str(tmp_path / "x.npz"), "--scale", "16"])
+        with pytest.raises(SystemExit, match="no effect"):
+            main(["model", "compress", "--npz", str(tmp_path / "x.npz"),
+                  "--param", "mode=stacked"])
+
+    def test_model_requires_name_or_npz(self):
+        with pytest.raises(SystemExit):
+            main(["model", "run"])
+
+    def test_model_unknown_name_exits_2(self, capsys):
+        assert main(["model", "run", "resnet", "--pes", "4"]) == 2
+        assert "unknown model" in capsys.readouterr().err

@@ -55,6 +55,11 @@ class TestDeepCompressor:
         expected = compressed_layer.dense_weights() @ dense_activations
         assert np.allclose(compressed_layer.reference_matvec(dense_activations), expected)
 
+    def test_dense_weights_are_cached_and_read_only(self, compressed_layer):
+        first = compressed_layer.dense_weights()
+        assert compressed_layer.dense_weights() is first
+        assert not first.flags.writeable
+
     def test_all_zero_matrix_rejected(self):
         with pytest.raises(CompressionError):
             DeepCompressor().compress(np.zeros((8, 8)), num_pes=2)

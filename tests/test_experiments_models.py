@@ -1,0 +1,103 @@
+"""Tests for the model-level experiments (model_storage, model_speedup)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentRegistry, run_experiment
+
+TINY = {"scale": 64}
+
+
+class TestRegistration:
+    def test_model_experiments_are_registered(self):
+        names = ExperimentRegistry.names()
+        assert "model_storage" in names and "model_speedup" in names
+
+    def test_describe_lists_the_model_axis(self):
+        description = ExperimentRegistry.describe("model_speedup")
+        assert description["axes"] == ["model"]
+        assert description["default_spec"]["grid"]["model"] == [
+            "alexnet_fc", "vgg_fc", "neuraltalk_lstm"
+        ]
+
+
+class TestModelStorage:
+    def test_reports_one_record_per_model(self):
+        result = run_experiment(
+            "model_storage", params=TINY, config={"num_pes": 4}
+        )
+        assert [r["model"] for r in result.records] == [
+            "alexnet_fc", "vgg_fc", "neuraltalk_lstm"
+        ]
+        for record in result.records:
+            assert record["dense_kib"] > 0
+            assert record["compressed_kib"] > 0
+            assert record["compression_ratio"] == pytest.approx(
+                record["dense_kib"] / record["compressed_kib"]
+            )
+        rendered = result.to_table()
+        assert "Whole-model Deep Compression storage:" in rendered
+        json.dumps(result.to_dict())  # records stay JSON-serializable
+
+    def test_grid_subset_restricts_the_sweep(self):
+        result = run_experiment(
+            "model_storage", params=TINY, config={"num_pes": 4},
+            grid={"model": ("alexnet_fc",)},
+        )
+        assert [r["model"] for r in result.records] == ["alexnet_fc"]
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            run_experiment("model_storage", params={"bogus": 1})
+
+    def test_compression_overlay_is_honoured(self):
+        default = run_experiment(
+            "model_storage", params=TINY, config={"num_pes": 4},
+            grid={"model": ("alexnet_fc",)},
+        )
+        pruned = run_experiment(
+            "model_storage", params=TINY, config={"num_pes": 4},
+            grid={"model": ("alexnet_fc",)},
+            compression={"target_density": 0.04},
+        )
+        assert pruned.records[0]["weight_density"] == pytest.approx(0.04, abs=0.01)
+        assert pruned.records[0]["weight_density"] < default.records[0]["weight_density"]
+
+
+class TestModelSpeedup:
+    def test_reports_latency_energy_and_speedup(self):
+        result = run_experiment(
+            "model_speedup", params={**TINY, "batch": 2}, config={"num_pes": 4},
+            grid={"model": ("neuraltalk_lstm",)},
+        )
+        (record,) = result.records
+        assert record["nodes"] == 4
+        assert record["total_cycles"] > 0
+        assert record["latency_us_per_frame"] > 0
+        assert record["energy_uj_per_frame"] > 0
+        assert record["speedup_vs_cpu_dense"] == pytest.approx(
+            record["cpu_dense_us_per_frame"] / record["latency_us_per_frame"]
+        )
+        assert "Whole-model EIE latency/energy vs CPU dense:" in result.to_table()
+
+    def test_shared_session_deduplicates_across_repeats(self):
+        from repro.experiments import ExperimentRunner
+
+        runner = ExperimentRunner()
+        runner.run("model_speedup", params=TINY, config={"num_pes": 4},
+                   grid={"model": ("alexnet_fc",)})
+        runner.run("model_speedup", params=TINY, config={"num_pes": 4},
+                   grid={"model": ("alexnet_fc",)})
+        # The second run reuses the compressed model from the shared session.
+        assert runner.session.cache_info()["models"]["hits"] >= 1
+
+    def test_results_are_deterministic(self):
+        first = run_experiment("model_speedup", params=TINY, config={"num_pes": 4},
+                               grid={"model": ("vgg_fc",)})
+        second = run_experiment("model_speedup", params=TINY, config={"num_pes": 4},
+                                grid={"model": ("vgg_fc",)})
+        assert first.records == second.records

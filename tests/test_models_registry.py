@@ -1,0 +1,124 @@
+"""Tests for the model registry and the built-in paper models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import (
+    BUILTIN_MODELS,
+    MatVecNode,
+    ModelIR,
+    ModelRegistry,
+    ModelSpec,
+    RegisteredModel,
+    build_model,
+    register_model,
+)
+from repro.workloads.benchmarks import ALL_BENCHMARKS
+
+
+class TestRegistry:
+    def test_paper_models_are_registered(self):
+        names = ModelRegistry.names()
+        for expected in ("alexnet_fc", "vgg_fc", "neuraltalk_lstm"):
+            assert expected in names
+
+    def test_unknown_model_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="alexnet_fc"):
+            ModelRegistry.get("resnet")
+
+    def test_register_and_unregister_custom_model(self, rng):
+        def build(spec: ModelSpec) -> ModelIR:
+            return ModelIR(
+                [MatVecNode(name="fc", weight=rng.normal(size=(4, 4)))], name="custom"
+            )
+
+        registered = RegisteredModel(
+            name="custom-test",
+            description="unit test model",
+            spec=ModelSpec(model="custom-test"),
+            build=build,
+        )
+        register_model(registered)
+        try:
+            assert build_model("custom-test").num_nodes == 1
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_model(
+                    RegisteredModel(
+                        name="custom-test", description="", spec=ModelSpec(model="custom-test"),
+                        build=build,
+                    )
+                )
+        finally:
+            ModelRegistry.unregister("custom-test")
+        with pytest.raises(ConfigurationError):
+            ModelRegistry.get("custom-test")
+
+    def test_spec_name_must_match_registration_name(self):
+        with pytest.raises(ConfigurationError, match="default spec"):
+            RegisteredModel(
+                name="a", description="", spec=ModelSpec(model="b"), build=lambda s: None
+            )
+
+    def test_describe_includes_default_spec_and_nodes(self):
+        info = ModelRegistry.describe("neuraltalk_lstm")
+        assert info["default_spec"]["params"]["mode"] == "per_gate"
+        assert info["default_build"]["num_nodes"] == 4
+
+    def test_unknown_params_rejected_by_name(self):
+        with pytest.raises(ConfigurationError, match="'Mode'"):
+            build_model("neuraltalk_lstm", params={"Mode": "stacked"})
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            build_model("alexnet_fc", params={"mode": "stacked"})
+
+    def test_build_merges_partial_spec_over_defaults(self):
+        default = build_model("neuraltalk_lstm")
+        scaled = ModelRegistry.build(ModelSpec(model="neuraltalk_lstm", scale=16))
+        assert scaled.input_size < default.input_size
+        stacked = build_model("neuraltalk_lstm", params={"mode": "stacked"})
+        assert stacked.num_nodes == 1
+
+
+class TestBuiltinModels:
+    def test_catalog_tuple_matches_registry(self):
+        for registered in BUILTIN_MODELS:
+            assert ModelRegistry.get(registered.name) is registered
+
+    @pytest.mark.parametrize(
+        "name, bench_name", [("alexnet_fc", "Alex-6"), ("vgg_fc", "VGG-6"),
+                             ("neuraltalk_lstm", "NT-LSTM")]
+    )
+    def test_input_density_matches_table3(self, name, bench_name):
+        model = build_model(name)
+        assert model.input_density == ALL_BENCHMARKS[bench_name].activation_density
+
+    def test_fc_models_have_table3_densities(self):
+        model = build_model("alexnet_fc", scale=16)
+        densities = [node.weight_density for node in model]
+        # Alex-6/7 prune to 9%, Alex-8 to 25% (up to sampling noise).
+        assert densities[0] == pytest.approx(0.09, abs=0.02)
+        assert densities[1] == pytest.approx(0.09, abs=0.02)
+        assert densities[2] == pytest.approx(0.25, abs=0.04)
+
+    def test_builds_are_deterministic(self):
+        first = build_model("vgg_fc", scale=64)
+        second = build_model("vgg_fc", scale=64)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_lstm_scale_and_seed_change_the_build(self):
+        base = build_model("neuraltalk_lstm")
+        rescaled = build_model("neuraltalk_lstm", scale=16)
+        reseeded = build_model("neuraltalk_lstm", seed=11)
+        assert rescaled.input_size != base.input_size
+        assert reseeded.fingerprint() != base.fingerprint()
+
+    @pytest.mark.parametrize("name", ["alexnet_fc", "vgg_fc"])
+    def test_fc_seed_changes_the_weights(self, name):
+        base = build_model(name, scale=64)
+        reseeded = build_model(name, seed=11, scale=64)
+        again = build_model(name, seed=11, scale=64)
+        assert reseeded.fingerprint() != base.fingerprint()
+        assert reseeded.fingerprint() == again.fingerprint()
+        # The default (no seed) keeps the benchmarks' canonical patterns.
+        assert base.fingerprint() == build_model(name, scale=64).fingerprint()

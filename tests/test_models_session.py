@@ -1,0 +1,253 @@
+"""Tests for Session.compress_model / Session.run_model and the model cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EIEConfig
+from repro.engine import Session
+from repro.errors import ConfigurationError
+from repro.models import INPUT, MatVecNode, ModelIR, build_model
+from repro.nn.layers import ACTIVATIONS
+
+NUM_PES = 4
+
+
+def sparse_matrix(rng: np.random.Generator, rows: int, cols: int, density=0.2):
+    weights = rng.normal(size=(rows, cols))
+    weights[rng.random((rows, cols)) >= density] = 0.0
+    weights[0, 0] = 0.5
+    return weights
+
+
+def two_layer_model(rng: np.random.Generator, name="m") -> ModelIR:
+    nodes = [
+        MatVecNode(name="fc0", weight=sparse_matrix(rng, 24, 32), activation="relu"),
+        MatVecNode(name="fc1", weight=sparse_matrix(rng, 12, 24),
+                   activation="identity", source="fc0"),
+    ]
+    return ModelIR(nodes, name=name)
+
+
+@pytest.fixture
+def session() -> Session:
+    return Session(config=EIEConfig(num_pes=NUM_PES, fifo_depth=8))
+
+
+class TestCompressModel:
+    def test_one_layer_per_node_with_matching_shapes(self, rng, session):
+        model = two_layer_model(rng)
+        compressed = session.compress_model(model, NUM_PES)
+        assert set(compressed.layers) == {"fc0", "fc1"}
+        for node, layer in compressed:
+            assert layer.shape == (node.rows, node.cols)
+            assert layer.activation_name == node.activation
+            assert layer.num_pes == NUM_PES
+
+    def test_identical_weights_share_one_compressed_layer(self, rng, session):
+        shared = sparse_matrix(rng, 16, 16)
+        nodes = [
+            MatVecNode(name="a", weight=shared, activation="relu"),
+            MatVecNode(name="b", weight=shared, activation="relu", source="a"),
+        ]
+        compressed = session.compress_model(ModelIR(nodes, name="dup"), NUM_PES)
+        assert compressed.layer("a") is compressed.layer("b")
+        report = compressed.storage_report()
+        assert report["num_unique_layers"] == 1
+        assert report["per_node"][1]["shared"] is True
+        # The aggregate counts the shared matrix once.
+        assert report["dense_bits"] == 16 * 16 * 32
+        # Same weights with a different non-linearity must not be shared.
+        nodes = [
+            MatVecNode(name="a", weight=shared, activation="relu"),
+            MatVecNode(name="b", weight=shared, activation="identity", source="a"),
+        ]
+        compressed = session.compress_model(ModelIR(nodes, name="dup2"), NUM_PES)
+        assert compressed.layer("a") is not compressed.layer("b")
+
+    def test_rejects_non_model_arguments(self, rng, session):
+        with pytest.raises(ConfigurationError, match="ModelIR"):
+            session.compress_model(rng.normal(size=(4, 4)), NUM_PES)
+
+    def test_storage_report_aggregates_node_bits(self, rng, session):
+        model = two_layer_model(rng)
+        compressed = session.compress_model(model, NUM_PES)
+        report = compressed.storage_report()
+        assert report["dense_bits"] == sum(
+            layer.dense_weight_count * 32
+            for layer in {id(l): l for l in compressed.layers.values()}.values()
+        )
+        assert report["compressed_bits"] == sum(
+            entry["compressed_bits"] for entry in report["per_node"]
+        )
+        assert report["compression_ratio"] == pytest.approx(
+            report["dense_bits"] / report["compressed_bits"]
+        )
+
+
+class TestModelCache:
+    def test_hit_and_miss_counts_across_a_two_model_sweep(self, rng):
+        session = Session(config=EIEConfig(num_pes=NUM_PES))
+        model_a = two_layer_model(rng, name="a")
+        model_b = two_layer_model(rng, name="b")
+
+        first = session.compress_model(model_a, NUM_PES)
+        info = session.cache_info()
+        assert info["models"] == {"entries": 1, "hits": 0}
+        assert info["layers"]["entries"] == 2  # fc0 + fc1 of model a
+
+        session.compress_model(model_b, NUM_PES)
+        info = session.cache_info()
+        assert info["models"] == {"entries": 2, "hits": 0}
+        assert info["layers"]["entries"] == 4
+
+        # Revisiting model a is a pure model-cache hit: same object, no new
+        # layer compression.
+        assert session.compress_model(model_a, NUM_PES) is first
+        info = session.cache_info()
+        assert info["models"] == {"entries": 2, "hits": 1}
+        assert info["layers"] == {"entries": 4, "hits": 0}
+
+        # A different PE count is a miss (new interleaving).
+        session.compress_model(model_a, 2)
+        assert session.cache_info()["models"] == {"entries": 3, "hits": 1}
+
+        # run_model goes through the same cache; the second run also hits the
+        # prepared-layer cache for every node.
+        inputs = rng.normal(size=(2, model_a.input_size))
+        session.run_model("cycle", model_a, inputs)
+        assert session.cache_info()["models"]["hits"] == 2
+        prepared_entries = session.cache_info()["prepared"]["entries"]
+        session.run_model("cycle", model_a, inputs)
+        info = session.cache_info()
+        assert info["models"]["hits"] == 3
+        assert info["prepared"]["entries"] == prepared_entries
+        assert info["prepared"]["hits"] >= model_a.num_nodes
+
+    def test_clear_resets_model_cache_and_hits(self, rng, session):
+        model = two_layer_model(rng)
+        session.compress_model(model, NUM_PES)
+        session.compress_model(model, NUM_PES)
+        session.clear()
+        info = session.cache_info()
+        assert info["models"] == {"entries": 0, "hits": 0}
+        assert info["layers"] == {"entries": 0, "hits": 0}
+
+    def test_model_cache_is_bounded_lru(self, rng):
+        session = Session(config=EIEConfig(num_pes=NUM_PES), max_models=1)
+        model_a = two_layer_model(rng, name="a")
+        model_b = two_layer_model(rng, name="b")
+        first = session.compress_model(model_a, NUM_PES)
+        session.compress_model(model_b, NUM_PES)
+        assert session.cache_info()["models"]["entries"] == 1
+        # model a was evicted: recompression returns a fresh object.
+        assert session.compress_model(model_a, NUM_PES) is not first
+
+
+class TestRunModel:
+    def test_node_stats_bit_identical_to_layer_at_a_time(self, rng):
+        """The acceptance contract: ``run_model`` on the cycle engine must
+        reproduce, per node, exactly the layer-at-a-time ``Session.run`` path
+        given the same measured activation sparsity."""
+        config = EIEConfig(num_pes=NUM_PES, fifo_depth=8)
+        session = Session(config=config)
+        model = build_model("neuraltalk_lstm", scale=32)
+        inputs = rng.normal(size=(3, model.input_size))
+        run = session.run_model("cycle", model, inputs)
+
+        manual = Session(config=config)
+        compressed = manual.compress_model(model, NUM_PES)
+        node_outputs: dict[str, np.ndarray] = {}
+        for node in model:
+            layer = compressed.layer(node.name)
+            x = model.node_input(node, inputs, node_outputs)
+            result = manual.run("cycle", layer, x, config)
+            pre = x @ layer.dense_weights().T
+            if node.bias is not None:
+                pre = pre + node.bias
+            node_outputs[node.name] = ACTIVATIONS[node.activation](pre)
+            expected = result.cycles
+            actual = run.node(node.name).result.cycles
+            assert len(actual) == len(expected) == 3
+            for got, want in zip(actual, expected):
+                assert got.total_cycles == want.total_cycles
+                assert got.broadcasts == want.broadcasts
+                assert got.entries_processed == want.entries_processed
+                assert got.padding_entries == want.padding_entries
+                assert np.array_equal(got.busy_cycles, want.busy_cycles)
+
+    def test_totals_are_sums_over_nodes_and_items(self, rng, session):
+        model = two_layer_model(rng)
+        inputs = rng.normal(size=(2, model.input_size))
+        run = session.run_model("cycle", model, inputs)
+        assert run.total_cycles == sum(node.total_cycles for node in run.nodes)
+        assert run.latency_s == pytest.approx(
+            sum(stats.time_s for node in run.nodes for stats in node.result.cycles)
+        )
+        assert run.per_item_latency_s.shape == (2,)
+        assert run.per_item_latency_s.sum() == pytest.approx(run.latency_s)
+        assert run.energy_j > 0.0
+        summary = run.summary()
+        assert summary["total_cycles"] == run.total_cycles
+        assert len(summary["nodes"]) == 2
+
+    def test_functional_outputs_match_propagated_reference(self, rng, session):
+        model = two_layer_model(rng)
+        inputs = np.abs(rng.normal(size=(2, model.input_size)))
+        run = session.run_model("functional", model, inputs)
+        for node in run.nodes:
+            assert np.allclose(node.result.outputs, run.node_outputs[node.name])
+        assert not run.has_timing
+        with pytest.raises(Exception, match="timing"):
+            run.latency_s
+
+    def test_propagated_sparsity_is_engine_independent(self, rng, session):
+        model = two_layer_model(rng)
+        inputs = rng.normal(size=model.input_size)
+        functional = session.run_model("functional", model, inputs)
+        timing = session.run_model("cycle", model, inputs)
+        for name in functional.node_outputs:
+            assert np.array_equal(
+                functional.node_outputs[name], timing.node_outputs[name]
+            )
+        for f_node, c_node in zip(functional.nodes, timing.nodes):
+            assert f_node.input_density == c_node.input_density
+
+    def test_accepts_precompressed_model_and_checks_pe_count(self, rng, session):
+        model = two_layer_model(rng)
+        compressed = session.compress_model(model, NUM_PES)
+        inputs = rng.normal(size=model.input_size)
+        run = session.run_model("cycle", compressed, inputs)
+        assert run.batch_size == 1 and not run.batched
+        with pytest.raises(ConfigurationError, match="PEs"):
+            session.run_model("cycle", compressed, inputs, EIEConfig(num_pes=2))
+
+    def test_rejects_bad_inputs(self, rng, session):
+        model = two_layer_model(rng)
+        with pytest.raises(ConfigurationError, match="input length"):
+            session.run_model("cycle", model, np.zeros(model.input_size + 1))
+        with pytest.raises(ConfigurationError, match="at least one"):
+            session.run_model("cycle", model, np.zeros((0, model.input_size)))
+        with pytest.raises(ConfigurationError, match="ModelIR"):
+            session.run_model("cycle", "not-a-model", np.zeros(4))
+
+    def test_lstm_slice_wiring_runs_on_engines(self, rng, session):
+        """Nodes with input slices (split LSTM style) execute correctly."""
+        nodes = [
+            MatVecNode(name="w", weight=sparse_matrix(rng, 8, 10),
+                       activation="identity", input_slice=(0, 10)),
+            MatVecNode(name="u", weight=sparse_matrix(rng, 8, 6),
+                       activation="identity", input_slice=(10, 16)),
+        ]
+        model = ModelIR(nodes, name="split")
+        inputs = rng.normal(size=16)
+        run = session.run_model("functional", model, inputs)
+        assert np.allclose(
+            run.node_outputs["w"][0],
+            run.nodes[0].layer.dense_weights() @ inputs[:10],
+        )
+        assert np.allclose(
+            run.node_outputs["u"][0],
+            run.nodes[1].layer.dense_weights() @ inputs[10:],
+        )
