@@ -23,7 +23,10 @@ JSON and exits non-zero if any throughput regressed more than
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
+import tempfile
+from itertools import count
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -41,28 +44,41 @@ from repro.core.cycle_model import (
     simulate_layer_cycles,
     simulate_layer_cycles_batch,
 )
+from repro.engine.session import Session
+from repro.experiments import ExperimentRunner
+from repro.models.registry import ModelRegistry
+from repro.models.spec import ModelSpec
+from repro.store import ArtifactStore
 from repro.utils.perfbench import (
     BenchResult,
     check_against_baseline,
     merge_results,
     run_benchmark,
 )
+from repro.workloads.generator import WorkloadBuilder
 from repro.workloads.synthetic import generate_activations, generate_sparse_pattern
 from repro.utils.rng import make_rng
 
 BENCH_PATH = REPO_ROOT / "BENCH_hotpaths.json"
 
 #: Paper-scale problem (AlexNet fc6 from Table III) and the CI-sized variant.
+#: ``model_scale`` shrinks the whole-network ``model_compress`` entry and
+#: ``experiment_scale`` the fig6+fig11 end-to-end entries (None = full size).
 SCALES = {
     "paper": dict(
         rows=4096, cols=9216, density=0.09, activation_density=0.35,
         num_pes=64, batch=64, fifo_depth=8, repeats=2,
+        model_scale=4.0, experiment_scale=None, experiment_repeats=1,
     ),
     "quick": dict(
         rows=512, cols=1024, density=0.10, activation_density=0.35,
         num_pes=16, batch=16, fifo_depth=8, repeats=3,
+        model_scale=16.0, experiment_scale=16.0, experiment_repeats=2,
     ),
 }
+
+#: The two-figure end-to-end spec timed serially and on the process pool.
+EXPERIMENT_PAIR = ("fig6_speedup", "fig11_scalability")
 
 
 def _reference_encode_column(column: np.ndarray, max_run: int = 15):
@@ -217,6 +233,97 @@ def run_suite(mode: str) -> list[BenchResult]:
     ))
     print(f"  simulate_batch:  {results[-1].seconds:8.4f} s "
           f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 8/9. Artifact-store cold and warm compress through the session layer.
+    #    Cold = fingerprint + full Deep Compression + store publish into a
+    #    fresh store; warm = a fresh process-like session hitting the
+    #    populated store (fingerprint + load + validate) — the once-per-
+    #    machine path every later run, CLI invocation and worker pays.
+    store_root = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    compression = CompressionConfig(target_density=scale["density"])
+    cold_ids = count()
+
+    def compress_cold() -> None:
+        root = store_root / f"cold-{next(cold_ids)}"
+        session = Session(compression, store=ArtifactStore(root))
+        session.compress(dense, num_pes=num_pes)
+
+    results.append(run_benchmark(
+        "compress_cold", compress_cold,
+        work_items=dense_cells, unit="dense elements", params=params,
+        repeats=repeats, warmup=1,
+    ))
+    print(f"  compress_cold:   {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    warm_root = store_root / "warm"
+    Session(compression, store=ArtifactStore(warm_root)).compress(dense, num_pes=num_pes)
+
+    def compress_warm() -> None:
+        session = Session(compression, store=ArtifactStore(warm_root))
+        session.compress(dense, num_pes=num_pes)
+
+    results.append(run_benchmark(
+        "compress_warm", compress_warm,
+        work_items=dense_cells, unit="dense elements", params=params,
+        repeats=max(repeats, 3), warmup=1,
+    ))
+    warm_speedup = results[-1].throughput / results[-2].throughput
+    print(f"  compress_warm:   {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s, "
+          f"{warm_speedup:.1f}x over cold)", flush=True)
+    shutil.rmtree(store_root, ignore_errors=True)
+
+    # 10. Whole-model compression (every node through Session.compress_model).
+    model = ModelRegistry.build(
+        ModelSpec(model="alexnet_fc", scale=scale["model_scale"])
+    )
+    model_params = {**params, "model": "alexnet_fc", "model_scale": scale["model_scale"]}
+
+    def model_compress() -> None:
+        Session(CompressionConfig()).compress_model(model, num_pes=num_pes)
+
+    results.append(run_benchmark(
+        "model_compress", model_compress,
+        work_items=model.num_parameters, unit="parameters",
+        params=model_params, repeats=repeats, warmup=1,
+    ))
+    print(f"  model_compress:  {results[-1].seconds:8.4f} s "
+          f"({results[-1].throughput:.3e} {results[-1].unit}/s)", flush=True)
+
+    # 11/12. End-to-end fig6+fig11 experiment pair, serial vs process pool.
+    #    Each call builds a fresh runner/builder so every run pays its own
+    #    workload construction, exactly like a fresh CLI invocation.
+    experiment_scale = scale["experiment_scale"]
+    experiment_repeats = scale["experiment_repeats"]
+
+    def run_experiment_pair(executor: str, jobs: int) -> None:
+        runner = ExperimentRunner(
+            builder=WorkloadBuilder(), executor=executor, jobs=jobs
+        )
+        for name in EXPERIMENT_PAIR:
+            runner.run(name, scale=experiment_scale)
+
+    experiment_params = {
+        **params, "experiments": list(EXPERIMENT_PAIR), "scale": experiment_scale,
+    }
+    results.append(run_benchmark(
+        "experiment_fig6_fig11_serial",
+        lambda: run_experiment_pair("serial", 1),
+        work_items=1, unit="runs", params=experiment_params,
+        repeats=experiment_repeats, warmup=0,
+    ))
+    print(f"  experiment (serial):      {results[-1].seconds:8.4f} s", flush=True)
+    results.append(run_benchmark(
+        "experiment_fig6_fig11_processes4",
+        lambda: run_experiment_pair("processes", 4),
+        work_items=1, unit="runs",
+        params={**experiment_params, "jobs": 4},
+        repeats=experiment_repeats, warmup=0,
+    ))
+    serial_seconds = results[-2].seconds
+    print(f"  experiment (processes-4): {results[-1].seconds:8.4f} s "
+          f"({serial_seconds / results[-1].seconds:.2f}x vs serial)", flush=True)
     return results
 
 

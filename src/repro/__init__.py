@@ -74,12 +74,14 @@ from repro.models import (
     register_model,
 )
 from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
+from repro.store import ArtifactStore
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ALL_BENCHMARKS",
+    "ArtifactStore",
     "BENCHMARK_NAMES",
     "CSCMatrix",
     "CompressedLayer",

@@ -41,6 +41,8 @@ from repro.core.config import EIEConfig
 from repro.engine import EngineRegistry, Session
 from repro.errors import ReproError
 from repro.experiments import ExperimentRegistry, ExperimentRunner, ExperimentSpec
+from repro.experiments.runner import EXECUTORS
+from repro.store import ArtifactStore, default_store_root, maybe_default_store, store_enabled
 from repro.models import ModelIR, ModelRegistry, ModelSpec, synthetic_model_inputs
 from repro.hardware.area import chip_area_mm2, chip_power_w
 from repro.utils.rng import make_rng
@@ -143,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--batch", type=int, default=1, help="number of input vectors")
     run_parser.add_argument("--seed", type=int, default=0, help="RNG seed for the synthetic data")
+    run_parser.add_argument(
+        "--no-store", action="store_true",
+        help="do not consult or populate the on-disk artifact store",
+    )
 
     experiment_parser = subparsers.add_parser(
         "experiment", help="list, describe or run declarative experiments"
@@ -169,11 +175,39 @@ def build_parser() -> argparse.ArgumentParser:
              "grid.fifo_depth=[1,8], workloads=Alex-6,NT-We)",
     )
     exp_run_parser.add_argument(
-        "--jobs", type=int, default=1, help="run grid points on N worker threads"
+        "--jobs", type=int, default=1, help="run grid points on N workers"
+    )
+    exp_run_parser.add_argument(
+        "--executor", choices=EXECUTORS, default="threads",
+        help="worker backend for --jobs > 1: threads share one session, "
+             "processes partition the grid across cores and share "
+             "compression through the artifact store (results are "
+             "bit-identical on every backend)",
+    )
+    exp_run_parser.add_argument(
+        "--no-store", action="store_true",
+        help="do not consult or populate the on-disk artifact store",
     )
     exp_run_parser.add_argument(
         "--results-dir", type=str, default=None, metavar="DIR",
         help="also write <experiment>.txt and <experiment>.json under DIR",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk compression artifact store"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_common = argparse.ArgumentParser(add_help=False)
+    cache_common.add_argument(
+        "--dir", type=str, default=None, metavar="DIR",
+        help="store directory (default: $REPRO_STORE_DIR or the user cache)",
+    )
+    cache_sub.add_parser(
+        "info", parents=[cache_common],
+        help="show the store location, entry count, size and process stats",
+    )
+    cache_sub.add_parser(
+        "clear", parents=[cache_common], help="delete every store entry"
     )
 
     model_parser = subparsers.add_parser(
@@ -211,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune every node to this weight density before compression "
              "(default: keep each matrix's existing sparsity)",
     )
+    model_common.add_argument(
+        "--no-store", action="store_true",
+        help="do not consult or populate the on-disk artifact store",
+    )
 
     model_sub.add_parser(
         "compress", parents=[model_common],
@@ -246,8 +284,20 @@ def _config(args: argparse.Namespace) -> dict[str, object]:
     return {"num_pes": args.pes, "fifo_depth": args.fifo_depth}
 
 
-def _runner(jobs: int = 1) -> ExperimentRunner:
-    return ExperimentRunner(jobs=jobs)
+def _store_for(args: argparse.Namespace) -> "ArtifactStore | None":
+    """The artifact store a CLI invocation should use (or ``None``).
+
+    Disabled by the command's ``--no-store`` flag or the ``REPRO_STORE=0``
+    environment gate; otherwise the machine-wide default store, so repeated
+    CLI invocations share one Deep Compression pass per distinct layer.
+    """
+    if getattr(args, "no_store", False):
+        return None
+    return maybe_default_store()
+
+
+def _runner(jobs: int = 1, executor: str = "threads", store: "ArtifactStore | None" = None) -> ExperimentRunner:
+    return ExperimentRunner(jobs=jobs, executor=executor, store=store)
 
 
 def _note_scale_ignored(args: argparse.Namespace, name: str) -> None:
@@ -352,13 +402,16 @@ def _run_experiment_command(args: argparse.Namespace) -> str:
     spec = experiment.spec.merged(spec)
     if args.overrides:
         spec = spec.with_overrides([_parse_override(entry) for entry in args.overrides])
-    result = _runner(jobs=args.jobs).run(spec)
+    result = _runner(
+        jobs=args.jobs, executor=args.executor, store=_store_for(args)
+    ).run(spec)
     if args.results_dir:
         txt_path, json_path = result.write(args.results_dir)
         print(f"wrote {txt_path} and {json_path}", file=sys.stderr)
     print(
         f"{result.experiment}: {result.metadata['points']} points, "
-        f"jobs={result.metadata['jobs']}, {result.metadata['duration_s']:.2f}s",
+        f"jobs={result.metadata['jobs']} ({result.metadata['executor']}), "
+        f"{result.metadata['duration_s']:.2f}s",
         file=sys.stderr,
     )
     return result.to_table()
@@ -393,7 +446,23 @@ def _resolve_model(args: argparse.Namespace) -> ModelIR:
 
 def _model_session(args: argparse.Namespace, config: EIEConfig) -> Session:
     compression = CompressionConfig(target_density=args.density)
-    return Session(compression, config=config)
+    return Session(compression, config=config, store=_store_for(args))
+
+
+def _run_cache_command(args: argparse.Namespace) -> str:
+    store = ArtifactStore(args.dir) if args.dir else ArtifactStore(default_store_root())
+    if args.cache_command == "clear":
+        removed = store.clear()
+        return f"removed {removed} artifact store entr{'y' if removed == 1 else 'ies'} from {store.root}"
+    description = store.describe()
+    rows = [
+        ["Store root", description["root"]],
+        ["Entries", description["entries"]],
+        ["Size (KiB)", f"{description['size_bytes'] / 1024.0:.1f}"],
+        ["Payload format", description["format"]],
+        ["Enabled (REPRO_STORE)", store_enabled()],
+    ]
+    return "Compression artifact store:\n" + format_table(["Field", "Value"], rows)
 
 
 def _run_model_command(args: argparse.Namespace) -> str:
@@ -509,7 +578,11 @@ def _run_engine(args: argparse.Namespace) -> str:
     config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
     rng = make_rng(args.seed)
     weights = rng.normal(0.0, 0.1, size=(args.rows, args.cols))
-    session = Session(CompressionConfig(target_density=args.density), config=config)
+    session = Session(
+        CompressionConfig(target_density=args.density),
+        config=config,
+        store=_store_for(args),
+    )
     layer = session.compress(weights, num_pes=config.num_pes, name="cli-synthetic")
     activations = rng.uniform(0.1, 1.0, size=(args.batch, args.cols))
     activations[rng.random((args.batch, args.cols)) >= args.activation_density] = 0.0
@@ -582,6 +655,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _run_engine(args)
         elif args.command == "experiment":
             output = _run_experiment_command(args)
+        elif args.command == "cache":
+            output = _run_cache_command(args)
         elif args.command == "model":
             output = _run_model_command(args)
         else:

@@ -51,14 +51,37 @@ class HuffmanCode:
 
     # -- construction ---------------------------------------------------------
 
+    @staticmethod
+    def _symbol_counts(symbols: np.ndarray | list) -> tuple[list, list]:
+        """Distinct symbols and their multiplicities, vectorised when possible.
+
+        Small non-negative integer streams (the weight-index and zero-run
+        streams of a compressed layer) are tallied with one ``bincount``
+        pass; other numeric arrays fall back to ``np.unique`` and arbitrary
+        objects to a :class:`collections.Counter`.  Symbols come back as
+        native Python scalars, exactly as the historical list-based tally
+        produced them.
+        """
+        array = np.asarray(symbols).ravel()
+        if array.size and array.dtype.kind in "iu":
+            low, high = int(array.min()), int(array.max())
+            if 0 <= low and high <= 1 << 20:
+                counts = np.bincount(array)
+                present = np.flatnonzero(counts)
+                return present.tolist(), counts[present].tolist()
+        if array.dtype != object:
+            uniques, counts = np.unique(array, return_counts=True)
+            return uniques.tolist(), counts.tolist()
+        tally = Counter(array.tolist())
+        return list(tally), list(tally.values())
+
     @classmethod
     def from_symbols(cls, symbols: np.ndarray | list) -> "HuffmanCode":
         """Build a code from observed symbols."""
-        symbols = list(np.asarray(symbols).ravel().tolist())
-        if not symbols:
+        distinct, counts = cls._symbol_counts(symbols)
+        if not distinct:
             raise CompressionError("cannot build a Huffman code from no symbols")
-        frequencies = Counter(symbols)
-        return cls.from_frequencies(frequencies)
+        return cls.from_frequencies(dict(zip(distinct, counts)))
 
     @classmethod
     def from_frequencies(cls, frequencies: dict[object, int]) -> "HuffmanCode":
@@ -117,7 +140,11 @@ class HuffmanCode:
         total = sum(frequencies.values())
         if total == 0:
             raise CompressionError("frequencies must not sum to zero")
-        return sum(self.code_length(sym) * count for sym, count in frequencies.items()) / total
+        return self.weighted_bits(frequencies) / total
+
+    def weighted_bits(self, frequencies: dict[object, int]) -> int:
+        """Total encoded bits of a stream given its symbol -> count tally."""
+        return sum(self.code_length(sym) * count for sym, count in frequencies.items())
 
     # -- encode / decode -------------------------------------------------------
 
@@ -145,7 +172,12 @@ class HuffmanCode:
         return decoded
 
     def encoded_bits(self, symbols: np.ndarray | list) -> int:
-        """Length in bits of the encoding of ``symbols`` (without encoding)."""
-        symbols = np.asarray(symbols).ravel().tolist()
-        counts = Counter(symbols)
-        return sum(self.code_length(symbol) * count for symbol, count in counts.items())
+        """Length in bits of the encoding of ``symbols`` (without encoding).
+
+        One vectorised tally (``bincount`` for small-integer streams) plus a
+        code-length sum over the few distinct symbols — same result as
+        ``len(self.encode(symbols))`` without materialising the bit string or
+        a per-element Python list.
+        """
+        distinct, counts = self._symbol_counts(symbols)
+        return self.weighted_bits(dict(zip(distinct, counts)))

@@ -216,23 +216,28 @@ class CompressedLayer:
 
         Huffman coding is applied separately to the weight-index stream and
         the zero-run stream, as Deep Compression does; pointers and the
-        codebook stay fixed-width.
+        codebook stay fixed-width.  Each stream is tallied with one
+        vectorised ``bincount`` pass (the symbols are small non-negative
+        integers), so a paper-scale layer is accounted in milliseconds.
         """
-        index_symbols: list[int] = []
-        run_symbols: list[int] = []
-        for matrix in self.storage.per_pe:
-            index_symbols.extend(matrix.values.astype(np.int64).tolist())
-            run_symbols.extend(matrix.runs.astype(np.int64).tolist())
         total_bits = self.codebook.storage_bits
         total_bits += sum(
             (matrix.col_ptr.shape[0]) * pointer_bits for matrix in self.storage.per_pe
         )
-        if index_symbols:
-            index_code = HuffmanCode.from_symbols(index_symbols)
-            total_bits += index_code.encoded_bits(index_symbols)
-        if run_symbols:
-            run_code = HuffmanCode.from_symbols(run_symbols)
-            total_bits += run_code.encoded_bits(run_symbols)
+        per_pe = self.storage.per_pe
+        streams = (
+            [np.concatenate([m.values for m in per_pe]).astype(np.int64),
+             np.concatenate([m.runs for m in per_pe])]
+            if per_pe
+            else []
+        )
+        for stream in streams:
+            distinct, counts = HuffmanCode._symbol_counts(stream)
+            if not distinct:
+                continue
+            frequencies = dict(zip(distinct, counts))
+            code = HuffmanCode.from_frequencies(frequencies)
+            total_bits += code.weighted_bits(frequencies)
         return total_bits
 
     def storage_report(self) -> dict[str, float]:
@@ -277,12 +282,15 @@ class DeepCompressor:
         if self.config.target_density is not None:
             pruned = prune_to_density(weights, self.config.target_density).weights
         else:
-            pruned = weights.copy()
-        if not np.count_nonzero(pruned):
+            # Pruning is a no-op: the matrix is only read from here on, so the
+            # caller's array is used as-is (no dense copy).
+            pruned = weights
+        nonzero_values = pruned[pruned != 0.0]
+        if nonzero_values.size == 0:
             raise CompressionError(f"layer {name!r} has no non-zero weights after pruning")
         rng = make_rng(self.config.codebook_seed)
         codebook = WeightCodebook.fit(
-            pruned[pruned != 0.0], index_bits=self.config.index_bits, rng=rng
+            nonzero_values, index_bits=self.config.index_bits, rng=rng
         )
         indices = codebook.quantize(pruned)
         storage = InterleavedCSC.from_dense(
@@ -295,5 +303,5 @@ class DeepCompressor:
             storage=storage,
             num_pes=num_pes,
             activation_name=activation_name,
-            metadata={"pruned_density": float(np.count_nonzero(pruned)) / pruned.size},
+            metadata={"pruned_density": nonzero_values.size / pruned.size},
         )

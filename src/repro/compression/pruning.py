@@ -55,14 +55,21 @@ class PruningResult:
         return self.mask.size / nonzero
 
 
+def _prune_with_magnitudes(
+    weights: np.ndarray, magnitudes: np.ndarray, threshold: float
+) -> PruningResult:
+    """Threshold pruning with a pre-computed ``|weights|`` (no second abs pass)."""
+    mask = (magnitudes >= threshold) & (weights != 0.0)
+    pruned = np.where(mask, weights, 0.0)
+    return PruningResult(weights=pruned, mask=mask, threshold=float(threshold))
+
+
 def prune_by_threshold(weights: np.ndarray, threshold: float) -> PruningResult:
     """Zero out every weight with ``|w| < threshold``."""
     weights = np.asarray(require_matrix("weights", weights), dtype=np.float64)
     if threshold < 0:
         raise CompressionError(f"threshold must be >= 0, got {threshold}")
-    mask = (np.abs(weights) >= threshold) & (weights != 0.0)
-    pruned = np.where(mask, weights, 0.0)
-    return PruningResult(weights=pruned, mask=mask, threshold=float(threshold))
+    return _prune_with_magnitudes(weights, np.abs(weights), threshold)
 
 
 def prune_to_density(weights: np.ndarray, density: float) -> PruningResult:
@@ -79,17 +86,31 @@ def prune_to_density(weights: np.ndarray, density: float) -> PruningResult:
     if density >= 1.0:
         mask = weights != 0.0
         return PruningResult(weights=weights.copy(), mask=mask, threshold=0.0)
-    magnitudes = np.abs(weights).ravel()
-    keep = max(1, int(round(density * magnitudes.size)))
-    # The threshold is the magnitude of the keep-th largest weight.
-    threshold = float(np.partition(magnitudes, magnitudes.size - keep)[magnitudes.size - keep])
-    result = prune_by_threshold(weights, threshold)
+    # One |weights| materialization serves the threshold selection, the
+    # surviving mask and the tie-trim ordering below.
+    magnitudes = np.abs(weights)
+    size = magnitudes.size
+    keep = max(1, int(round(density * size)))
+    # The threshold is the magnitude of the keep-th largest weight — the
+    # (size - keep)-th order statistic of all magnitudes.  Zeros sort first,
+    # so when the rank falls inside the zero block the threshold is 0 and
+    # otherwise the same element is found by partitioning only the non-zero
+    # magnitudes (~10x fewer on a pruned-density paper layer).
+    rank = size - keep
+    nonzero_magnitudes = magnitudes[magnitudes != 0.0]
+    num_zeros = size - nonzero_magnitudes.size
+    if rank < num_zeros:
+        threshold = 0.0
+    else:
+        nonzero_rank = rank - num_zeros
+        threshold = float(np.partition(nonzero_magnitudes, nonzero_rank)[nonzero_rank])
+    result = _prune_with_magnitudes(weights, magnitudes, threshold)
     if result.num_nonzero > keep:
         # Ties at the threshold can keep slightly too many weights; break them
         # deterministically by zeroing the excess smallest survivors (one
         # fancy-indexed assignment, same order as the stable argsort).
         surviving = np.argwhere(result.mask)
-        surviving_magnitudes = np.abs(result.weights[result.mask])
+        surviving_magnitudes = magnitudes[result.mask]
         order = np.argsort(surviving_magnitudes, kind="stable")
         excess = result.num_nonzero - keep
         trim_rows, trim_cols = surviving[order[:excess]].T

@@ -84,6 +84,10 @@ class Session:
         max_engines: engine instances kept across all configurations.
         max_models: compressed whole models kept (their per-node layers are
             also pinned by the layer cache while hot).
+        store: optional :class:`~repro.store.artifacts.ArtifactStore`; when
+            set, :meth:`compress` consults it between the in-process LRU and
+            a fresh compression, and publishes every fresh result — so a
+            layer is compressed once per machine, not once per process.
     """
 
     def __init__(
@@ -95,12 +99,14 @@ class Session:
         max_prepared: int = 512,
         max_engines: int = 64,
         max_models: int = 32,
+        store: Any | None = None,
     ) -> None:
         if min(max_layers, max_prepared, max_engines, max_models) < 1:
             raise ConfigurationError("session cache bounds must be >= 1")
         self.compressor = DeepCompressor(compression or CompressionConfig())
         self.default_config = config or EIEConfig()
         self.registry = registry
+        self.store = store
         self._layer_cache: OrderedDict[tuple, CompressedLayer] = OrderedDict()
         self._prepared_cache: OrderedDict[tuple, PreparedLayer] = OrderedDict()
         self._engine_cache: OrderedDict[tuple, SimulationEngine] = OrderedDict()
@@ -143,11 +149,15 @@ class Session:
 
         The cache key is the content fingerprint of the weights together with
         every parameter that shapes the compressed form, so a hit is exact:
-        the same :class:`CompressedLayer` object is returned.
+        the same :class:`CompressedLayer` object is returned.  With an
+        attached artifact store, an LRU miss first tries the on-disk entry
+        for the same fingerprint/config/PE triple (a load instead of a
+        compression), and every fresh compression is published back.
         """
         weights = require_matrix("weights", weights)
+        fingerprint = weights_fingerprint(weights)
         key = (
-            weights_fingerprint(weights),
+            fingerprint,
             int(num_pes),
             name,
             activation_name,
@@ -156,9 +166,23 @@ class Session:
         cached = self._cache_get("layers", self._layer_cache, key)
         if cached is not None:
             return cached
-        layer = self.compressor.compress(
-            weights, num_pes=int(num_pes), name=name, activation_name=activation_name
-        )
+        layer = None
+        if self.store is not None:
+            layer = self.store.load_layer(
+                fingerprint,
+                int(num_pes),
+                self.compressor.config,
+                name=name,
+                activation_name=activation_name,
+            )
+        if layer is None:
+            layer = self.compressor.compress(
+                weights, num_pes=int(num_pes), name=name, activation_name=activation_name
+            )
+            if self.store is not None:
+                self.store.store_layer(
+                    fingerprint, int(num_pes), self.compressor.config, layer
+                )
         self._cache_put("layers", self._layer_cache, key, layer)
         return layer
 
@@ -354,12 +378,22 @@ class Session:
     # -- introspection -----------------------------------------------------------
 
     def cache_info(self) -> dict[str, dict[str, int]]:
-        """Entry and hit counts of the four caches (for tests and reports)."""
+        """Entry and hit counts of the four caches (for tests and reports).
+
+        With an attached artifact store the ``"store"`` entry carries its
+        hit/miss/store/error counters; without one it reads all zeros.
+        """
+        store_stats = (
+            self.store.stats()
+            if self.store is not None
+            else {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        )
         return {
             "layers": {"entries": len(self._layer_cache), "hits": self._hits["layers"]},
             "prepared": {"entries": len(self._prepared_cache), "hits": self._hits["prepared"]},
             "engines": {"entries": len(self._engine_cache), "hits": self._hits["engines"]},
             "models": {"entries": len(self._model_cache), "hits": self._hits["models"]},
+            "store": store_stats,
         }
 
     def clear(self) -> None:

@@ -68,7 +68,9 @@ def _model_session(ctx: ExperimentContext) -> Session:
         return ctx.session
     return ctx.memo(
         ("model-session", ctx.compression),
-        lambda: Session(ctx.compression, config=ctx.base_config),
+        lambda: Session(
+            ctx.compression, config=ctx.base_config, store=ctx.session.store
+        ),
     )
 
 

@@ -21,6 +21,13 @@ from repro.experiments.spec import ExperimentSpec, _jsonable
 
 __all__ = ["ExperimentResult"]
 
+#: Metadata keys that vary run-to-run without changing the result (timing,
+#: concurrency level, executor backend).  They are kept on the in-memory
+#: result for reporting but excluded from the serialized form, so the JSON
+#: written by a serial run and a process-pool run of the same spec is
+#: byte-identical.
+VOLATILE_METADATA = ("duration_s", "jobs", "executor")
+
 
 @dataclass
 class ExperimentResult:
@@ -100,12 +107,24 @@ class ExperimentResult:
     # -- serialization -----------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """The result as a plain JSON-serializable dictionary."""
+        """The result as a plain JSON-serializable dictionary.
+
+        Volatile metadata (:data:`VOLATILE_METADATA`: wall-clock duration,
+        jobs, executor) is excluded so that serialized results depend only on
+        the spec and the records — any two runs of the same spec, at any
+        concurrency level and on any executor backend, serialize to the same
+        bytes.
+        """
+        metadata = {
+            key: value
+            for key, value in self.metadata.items()
+            if key not in VOLATILE_METADATA
+        }
         return {
             "experiment": self.experiment,
             "spec": self.spec.to_dict(),
             "records": _jsonable(self.records),
-            "metadata": _jsonable(self.metadata),
+            "metadata": _jsonable(metadata),
             "provenance": _jsonable(self.provenance),
         }
 

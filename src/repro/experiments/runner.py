@@ -9,9 +9,14 @@ into an :class:`~repro.experiments.result.ExperimentResult`:
 2. shared per-run state — one :class:`~repro.workloads.generator.WorkloadBuilder`
    and one :class:`~repro.engine.session.Session` — deduplicates workload
    construction, compression and engine preparation across all points;
-3. points execute serially or concurrently (``jobs > 1`` uses a thread pool;
-   the heavy numpy kernels release the GIL), and records are assembled in
-   point order, so the result is bit-identical at every ``--jobs`` level;
+3. points execute on one of three executor backends — ``serial`` (in
+   order, one thread), ``threads`` (a thread pool when ``jobs > 1``; the
+   heavy numpy kernels release the GIL) or ``processes`` (a
+   :class:`~concurrent.futures.ProcessPoolExecutor` that partitions the
+   points across worker processes, each with its own session, sharing
+   compression work through the on-disk artifact store instead of process
+   memory) — and records are always assembled in spec point order, so the
+   result is bit-identical at every ``--jobs`` level on every backend;
 4. optional cross-point finalization (speedups versus a baseline point,
    geometric means) produces the final uniform records.
 """
@@ -20,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 from itertools import product
 from typing import Any, Callable, Mapping, Sequence
@@ -34,10 +39,13 @@ from repro.experiments.spec import ExperimentSpec
 from repro.workloads.benchmarks import LayerSpec, get_benchmark
 from repro.workloads.generator import LayerWorkload, WorkloadBuilder
 
-__all__ = ["ExperimentContext", "ExperimentRunner", "run_experiment"]
+__all__ = ["EXECUTORS", "ExperimentContext", "ExperimentRunner", "run_experiment"]
 
 #: Paper id recorded in every result's provenance.
 SOURCE_PAPER = "conf_isca_HanLMPPHD16"
+
+#: Executor backends the runner can place grid points on.
+EXECUTORS = ("serial", "threads", "processes")
 
 
 class ExperimentContext:
@@ -101,18 +109,77 @@ class ExperimentContext:
             return self._memo[key]
 
 
+def _partition_indices(count: int, parts: int) -> list[range]:
+    """Split ``range(count)`` into ``parts`` contiguous, near-equal ranges.
+
+    Contiguity matters: the point grid leads with the benchmark axis, so
+    contiguous chunks keep each worker on as few distinct layers as possible
+    (fewer compressions/preparations per process).
+    """
+    parts = max(1, min(parts, count))
+    base, extra = divmod(count, parts)
+    bounds = [0]
+    for part in range(parts):
+        bounds.append(bounds[-1] + base + (1 if part < extra else 0))
+    return [range(bounds[i], bounds[i + 1]) for i in range(parts)]
+
+
+def _run_points_in_subprocess(payload: dict) -> list[list[dict]]:
+    """Process-pool worker: execute one contiguous chunk of grid points.
+
+    Runs in a separate process, so all shared state is rebuilt from the
+    picklable payload: the experiment is re-resolved from the registry
+    (importing this module populates it), the spec is rehydrated from its
+    dictionary form, and the worker gets its own session/builder.  Cross-
+    process compression reuse flows through the on-disk artifact store named
+    by ``store_root`` — not through memory — which is what makes the process
+    backend scale the GIL-holding compression work.  Returns the per-point
+    record lists in chunk order; the parent reassembles them in spec order.
+    """
+    experiment = ExperimentRegistry.get(payload["experiment"])
+    spec = ExperimentSpec.from_dict(payload["spec"])
+    layer_specs = {layer.name: layer for layer in payload["layer_specs"]}
+    store = None
+    if payload["store_root"] is not None:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(payload["store_root"])
+    context = ExperimentContext(
+        experiment,
+        spec,
+        WorkloadBuilder(),
+        Session(store=store),
+        layer_specs,
+    )
+    chunk_records: list[list[dict]] = []
+    for point in payload["points"]:
+        outcome = experiment.run_point(context, point)
+        if isinstance(outcome, dict):
+            outcome = [outcome]
+        chunk_records.append([{**point, **record} for record in outcome])
+    return chunk_records
+
+
 class ExperimentRunner:
     """Expands a spec's grid into points and executes them through one session.
 
     Args:
         jobs: default concurrency (``1`` = serial; ``N > 1`` runs points on a
-            thread pool).  Per-call ``jobs`` overrides this.
+            worker pool).  Per-call ``jobs`` overrides this.
         builder: workload builder shared across runs (one is created if not
             given); inject the benchmark harness's session-scoped builder to
             share its pattern cache.
         session: engine session shared across runs (one per runner if not
-            given).
+            given; when ``store`` is set and no session is given, the created
+            session is attached to the store).
         registry: the experiment registry to resolve names against.
+        executor: default backend for multi-job runs — ``"threads"`` (one
+            shared session, numpy kernels release the GIL), ``"processes"``
+            (grid points partitioned across worker processes, compression
+            shared through the artifact store) or ``"serial"`` (ignore
+            ``jobs`` and run in order).  Per-call ``executor`` overrides it.
+        store: optional :class:`~repro.store.artifacts.ArtifactStore` shared
+            by the runner's session and every process-pool worker.
     """
 
     def __init__(
@@ -121,12 +188,20 @@ class ExperimentRunner:
         builder: WorkloadBuilder | None = None,
         session: Session | None = None,
         registry: type[ExperimentRegistry] = ExperimentRegistry,
+        executor: str = "threads",
+        store: Any | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
+            )
         self.jobs = jobs
+        self.executor = executor
+        self.store = store
         self.builder = builder or WorkloadBuilder()
-        self.session = session or Session()
+        self.session = session or Session(store=store)
         self.registry = registry
 
     # -- spec assembly -----------------------------------------------------------
@@ -242,16 +317,24 @@ class ExperimentRunner:
         seed: int | None = None,
         scale: float | None = None,
         repeats: int | None = None,
+        executor: str | None = None,
     ) -> ExperimentResult:
         """Execute an experiment (by name or spec) and return its result.
 
         Keyword overrides are overlaid onto the experiment's default spec;
         ``workloads`` additionally accepts explicit :class:`LayerSpec`
         objects (scaled test layers) that a JSON spec cannot express.
+        ``executor`` picks the backend for this run (``serial`` / ``threads``
+        / ``processes``); records are bit-identical across all of them.
         """
         jobs = self.jobs if jobs is None else jobs
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        executor = self.executor if executor is None else executor
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
+            )
         experiment, spec = self._merge_spec(
             spec_or_name,
             {
@@ -277,8 +360,27 @@ class ExperimentRunner:
                 outcome = [outcome]
             return [{**point, **record} for record in outcome]
 
-        if jobs == 1 or len(points) <= 1:
+        if executor == "serial" or jobs == 1 or len(points) <= 1:
             per_point = [run_one(point) for point in points]
+        elif executor == "processes":
+            chunks = _partition_indices(len(points), jobs)
+            # Workers share whichever store this runner's session uses —
+            # whether it was passed as store= or came attached to an
+            # injected session.
+            store = self.store if self.store is not None else getattr(self.session, "store", None)
+            payloads = [
+                {
+                    "experiment": experiment.name,
+                    "spec": spec.to_dict(),
+                    "layer_specs": list(layer_specs.values()),
+                    "points": [points[index] for index in chunk],
+                    "store_root": str(store.root) if store is not None else None,
+                }
+                for chunk in chunks
+            ]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                per_chunk = list(pool.map(_run_points_in_subprocess, payloads))
+            per_point = [chunk_records for chunk in per_chunk for chunk_records in chunk]
         else:
             with ThreadPoolExecutor(max_workers=min(jobs, len(points))) as pool:
                 per_point = list(pool.map(run_one, points))
@@ -296,6 +398,7 @@ class ExperimentRunner:
             metadata={
                 "points": len(points),
                 "jobs": jobs,
+                "executor": executor,
                 "duration_s": duration,
                 "axes": [axis for axis in points[0]] if points and points[0] else [],
                 "engine": context.engine_name,
@@ -314,8 +417,12 @@ def run_experiment(
     jobs: int = 1,
     builder: WorkloadBuilder | None = None,
     session: Session | None = None,
+    executor: str = "threads",
+    store: Any | None = None,
     **overrides: Any,
 ) -> ExperimentResult:
     """One-shot convenience: build a runner, execute, return the result."""
-    runner = ExperimentRunner(jobs=jobs, builder=builder, session=session)
+    runner = ExperimentRunner(
+        jobs=jobs, builder=builder, session=session, executor=executor, store=store
+    )
     return runner.run(spec_or_name, **overrides)

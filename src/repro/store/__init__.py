@@ -1,0 +1,22 @@
+"""repro.store: the content-addressed artifact layer.
+
+One :class:`~repro.store.artifacts.ArtifactStore` caches compression output
+on disk, keyed by weight fingerprint + compression parameters + PE count, so
+every process on a machine shares one Deep Compression pass per distinct
+layer.  See ``docs/ARCHITECTURE.md`` ("Execution & artifact layer") for the
+key derivation and invalidation rules.
+"""
+
+from repro.store.artifacts import (
+    ArtifactStore,
+    default_store_root,
+    maybe_default_store,
+    store_enabled,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "default_store_root",
+    "maybe_default_store",
+    "store_enabled",
+]

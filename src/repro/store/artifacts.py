@@ -1,0 +1,375 @@
+"""Content-addressed on-disk store for compression artifacts.
+
+Deep Compression dominates the wall-clock of every whole-model flow, and its
+output depends only on three things: the dense weight matrix (captured by
+:func:`~repro.compression.pipeline.weights_fingerprint`), the
+:class:`~repro.compression.pipeline.CompressionConfig`, and the PE count the
+result is interleaved over.  The :class:`ArtifactStore` keys one ``.npz``
+file per distinct triple, so a layer is compressed **once per machine**
+instead of once per process: every later
+:meth:`~repro.engine.session.Session.compress` — across experiment runs, CLI
+invocations, process-pool workers and CI steps — becomes a load.
+
+Guarantees:
+
+* **Bit-identical round trips.**  The serialized payload is the exact
+  codebook and per-PE CSC streams; loading rebuilds the layer through the
+  *validating* constructors, so ``storage_bits``, ``to_dense`` and the per-PE
+  streams are equal to the freshly compressed layer's.
+* **Never half-loaded.**  Writes go to a temporary file in the store
+  directory and are published with one atomic :func:`os.replace`; readers can
+  never observe a partially written entry.  Corrupt or truncated entries
+  (zip CRC failures, invalid stream invariants, key/format mismatches) are
+  detected on load, counted in :meth:`ArtifactStore.stats`, deleted, and
+  reported as a miss — the caller recompresses and overwrites.
+* **Concurrency-safe.**  Multiple processes may load and store the same key
+  simultaneously; last-writer-wins on identical content is harmless because
+  entries are content-addressed.
+
+The store root defaults to ``$REPRO_STORE_DIR``, falling back to
+``$XDG_CACHE_HOME/repro-eie/artifacts`` (``~/.cache/repro-eie/artifacts``).
+Setting ``REPRO_STORE=0`` disables the default store everywhere it is wired
+up implicitly (the CLI and the experiment runner); explicitly constructed
+stores are unaffected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.compression.csc import CSCMatrix, InterleavedCSC, _rows_owned_by
+from repro.compression.pipeline import CompressedLayer, CompressionConfig
+from repro.compression.quantization import WeightCodebook
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ArtifactStore",
+    "default_store_root",
+    "maybe_default_store",
+    "store_enabled",
+]
+
+#: On-disk payload format; bumped on any incompatible serialization change.
+FORMAT_VERSION = 1
+
+#: Environment variable overriding the default store root directory.
+ENV_ROOT = "REPRO_STORE_DIR"
+
+#: Environment variable disabling the implicit default store (``0``/``false``).
+ENV_ENABLED = "REPRO_STORE"
+
+
+def default_store_root() -> Path:
+    """The machine-wide store root (``$REPRO_STORE_DIR`` or the user cache)."""
+    override = os.environ.get(ENV_ROOT)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-eie" / "artifacts"
+
+
+def store_enabled() -> bool:
+    """Whether the implicit default store is enabled (``REPRO_STORE`` gate)."""
+    return os.environ.get(ENV_ENABLED, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
+
+
+def maybe_default_store() -> "ArtifactStore | None":
+    """The default :class:`ArtifactStore`, or ``None`` when disabled."""
+    return ArtifactStore(default_store_root()) if store_enabled() else None
+
+
+class ArtifactStore:
+    """A content-addressed cache of :class:`CompressedLayer` payloads.
+
+    Args:
+        root: store directory (created lazily on the first write).
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self._stats = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def layer_key(
+        fingerprint: str, num_pes: int, config: CompressionConfig
+    ) -> str:
+        """Content address of one compressed layer.
+
+        The key covers exactly the inputs that shape the compressed form:
+        the dense matrix's content fingerprint, the PE count, the full
+        compression configuration, and the payload format version (so a
+        format bump invalidates every old entry instead of misreading it).
+        The layer's *name* and *activation* are presentation metadata and
+        deliberately excluded — they are reapplied by the loader.
+        """
+        if num_pes < 1:
+            raise ConfigurationError(f"num_pes must be >= 1, got {num_pes}")
+        payload = json.dumps(
+            {
+                "fingerprint": fingerprint,
+                "num_pes": int(num_pes),
+                "config": config.to_dict(),
+                "format": FORMAT_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _layer_path(self, key: str) -> Path:
+        return self.root / "layers" / f"{key}.npz"
+
+    # -- store / load ----------------------------------------------------------
+
+    def store_layer(
+        self,
+        fingerprint: str,
+        num_pes: int,
+        config: CompressionConfig,
+        layer: CompressedLayer,
+    ) -> Path | None:
+        """Serialize ``layer`` under its content address (atomic publish).
+
+        Publishing is best-effort: the store is a cache, so an unwritable
+        root, a full disk or a concurrently swept temp file must never take
+        down the computation that produced the layer.  Any ``OSError`` is
+        counted under ``errors`` and reported as ``None``; the caller keeps
+        its freshly compressed layer either way.
+        """
+        key = self.layer_key(fingerprint, num_pes, config)
+        path = self._layer_path(key)
+        try:
+            return self._publish_layer(key, path, fingerprint, num_pes, config, layer)
+        except OSError:
+            self._stats["errors"] += 1
+            return None
+
+    def _publish_layer(
+        self,
+        key: str,
+        path: Path,
+        fingerprint: str,
+        num_pes: int,
+        config: CompressionConfig,
+        layer: CompressedLayer,
+    ) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+
+        per_pe = layer.storage.per_pe
+        values = (
+            np.concatenate([matrix.values for matrix in per_pe])
+            if per_pe
+            else np.empty(0, dtype=np.float64)
+        )
+        runs = (
+            np.concatenate([matrix.runs for matrix in per_pe])
+            if per_pe
+            else np.empty(0, dtype=np.int64)
+        )
+        # The value stream holds codebook indices (integral, small); the run
+        # stream is bounded by max_run.  Both downcast losslessly to uint16
+        # in every real configuration, which keeps entries compact — float64
+        # is the fallback for exotic configs, flagged by the saved dtype.
+        if values.size == 0 or (
+            layer.codebook.size <= 2**16
+            and np.array_equal(values, values.astype(np.uint16))
+        ):
+            values = values.astype(np.uint16)
+        if layer.storage.per_pe and max(m.max_run for m in per_pe) < 2**16:
+            runs = runs.astype(np.uint16)
+        col_ptrs = (
+            np.stack([matrix.col_ptr for matrix in per_pe])
+            if per_pe
+            else np.zeros((0, layer.cols + 1), dtype=np.int64)
+        )
+        entries_per_pe = np.asarray(
+            [matrix.num_entries for matrix in per_pe], dtype=np.int64
+        )
+        meta = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "fingerprint": fingerprint,
+            "num_pes": int(num_pes),
+            "shape": [int(layer.rows), int(layer.cols)],
+            "max_run": int(per_pe[0].max_run) if per_pe else int(config.max_run),
+            "index_bits": int(layer.codebook.index_bits),
+            "config": config.to_dict(),
+            "metadata": dict(layer.metadata),
+        }
+
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f".{key}.", suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                # Uncompressed: the streams are already downcast to compact
+                # dtypes, and a warm hit must stay a fast mmap-friendly read
+                # (zlib would cost seconds on a paper-scale layer).
+                np.savez(
+                    handle,
+                    meta=np.frombuffer(
+                        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+                    ),
+                    centroids=layer.codebook.centroids,
+                    values=values,
+                    runs=runs,
+                    col_ptrs=col_ptrs,
+                    entries_per_pe=entries_per_pe,
+                )
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        self._stats["stores"] += 1
+        return path
+
+    def load_layer(
+        self,
+        fingerprint: str,
+        num_pes: int,
+        config: CompressionConfig,
+        name: str = "layer",
+        activation_name: str = "relu",
+    ) -> CompressedLayer | None:
+        """Load a layer by content address, or ``None`` on miss/corruption.
+
+        The payload is rebuilt through the validating
+        :class:`~repro.compression.csc.CSCMatrix` /
+        :class:`~repro.compression.csc.InterleavedCSC` /
+        :class:`CompressedLayer` constructors, so any logically inconsistent
+        entry (as well as any unreadable archive) is treated as corrupt:
+        counted under ``errors``, deleted, and reported as a miss.
+        """
+        key = self.layer_key(fingerprint, num_pes, config)
+        path = self._layer_path(key)
+        if not path.exists():
+            self._stats["misses"] += 1
+            return None
+        try:
+            layer = self._read_layer(path, key, name, activation_name)
+        except Exception:
+            self._stats["errors"] += 1
+            self._stats["misses"] += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # read-only filesystem: leave the corrupt entry in place
+            return None
+        self._stats["hits"] += 1
+        return layer
+
+    def _read_layer(
+        self, path: Path, key: str, name: str, activation_name: str
+    ) -> CompressedLayer:
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            if meta.get("format") != FORMAT_VERSION or meta.get("key") != key:
+                raise ValueError(f"store entry {path.name} has a stale or foreign key")
+            centroids = np.asarray(archive["centroids"], dtype=np.float64)
+            values = np.asarray(archive["values"], dtype=np.float64)
+            runs = np.asarray(archive["runs"], dtype=np.int64)
+            col_ptrs = np.asarray(archive["col_ptrs"], dtype=np.int64)
+            entries_per_pe = np.asarray(archive["entries_per_pe"], dtype=np.int64)
+        num_pes = int(meta["num_pes"])
+        rows, cols = (int(side) for side in meta["shape"])
+        max_run = int(meta["max_run"])
+        if entries_per_pe.shape[0] != num_pes or col_ptrs.shape[0] != num_pes:
+            raise ValueError(f"store entry {path.name} has inconsistent PE counts")
+        if int(entries_per_pe.sum()) != values.shape[0]:
+            raise ValueError(f"store entry {path.name} has truncated streams")
+        boundaries = np.zeros(num_pes + 1, dtype=np.int64)
+        np.cumsum(entries_per_pe, out=boundaries[1:])
+        per_pe = [
+            CSCMatrix(
+                values=values[boundaries[pe]:boundaries[pe + 1]],
+                runs=runs[boundaries[pe]:boundaries[pe + 1]],
+                col_ptr=col_ptrs[pe],
+                num_rows=_rows_owned_by(pe, rows, num_pes),
+                num_cols=cols,
+                max_run=max_run,
+            )
+            for pe in range(num_pes)
+        ]
+        storage = InterleavedCSC(
+            per_pe=per_pe, num_rows=rows, num_cols=cols, num_pes=num_pes
+        )
+        codebook = WeightCodebook(
+            centroids=centroids, index_bits=int(meta["index_bits"])
+        )
+        return CompressedLayer(
+            name=name,
+            shape=(rows, cols),
+            codebook=codebook,
+            storage=storage,
+            num_pes=num_pes,
+            activation_name=activation_name,
+            metadata=dict(meta.get("metadata", {})),
+        )
+
+    # -- maintenance / introspection -------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """Paths of every published store entry."""
+        layers = self.root / "layers"
+        if not layers.is_dir():
+            return []
+        return sorted(path for path in layers.glob("*.npz"))
+
+    def size_bytes(self) -> int:
+        """Total bytes held by published entries."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    #: Temp files younger than this are presumed in-flight and left alone.
+    STALE_TMP_SECONDS = 3600.0
+
+    def clear(self) -> int:
+        """Delete every entry (and stale temp files); returns entries removed.
+
+        Temp files are only swept when they are clearly abandoned (older than
+        :data:`STALE_TMP_SECONDS`): a fresh ``.tmp`` may belong to a writer
+        mid-publish in another process, and deleting it would make that
+        writer's atomic rename fail.
+        """
+        removed = 0
+        layers = self.root / "layers"
+        if layers.is_dir():
+            now = time.time()
+            for path in layers.iterdir():
+                if path.suffix == ".npz":
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                elif path.suffix == ".tmp":
+                    try:
+                        abandoned = now - path.stat().st_mtime > self.STALE_TMP_SECONDS
+                    except OSError:
+                        continue
+                    if abandoned:
+                        path.unlink(missing_ok=True)
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store/error counters for this process's store handle."""
+        return dict(self._stats)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly summary (CLI ``cache info``)."""
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "size_bytes": sum(path.stat().st_size for path in entries),
+            "format": FORMAT_VERSION,
+            **self.stats(),
+        }

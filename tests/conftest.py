@@ -15,6 +15,18 @@ from repro.core import EIEConfig
 from repro.workloads import LayerSpec
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_artifact_store(tmp_path_factory, monkeypatch):
+    """Point the default artifact store at a per-session temp directory.
+
+    Keeps the suite hermetic: CLI and runner tests that use the implicit
+    default store neither read a pre-warmed machine cache nor leave entries
+    behind in the user's real ``~/.cache``.
+    """
+    root = tmp_path_factory.getbasetemp() / "repro-store"
+    monkeypatch.setenv("REPRO_STORE_DIR", str(root))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic RNG for test data."""

@@ -293,3 +293,72 @@ class TestModelCommands:
     def test_model_unknown_name_exits_2(self, capsys):
         assert main(["model", "run", "resnet", "--pes", "4"]) == 2
         assert "unknown model" in capsys.readouterr().err
+
+
+class TestCacheAndExecutorCli:
+    def test_executor_and_no_store_flags_parse(self):
+        args = build_parser().parse_args([
+            "experiment", "run", "fig8_fifo_depth",
+            "--jobs", "4", "--executor", "processes", "--no-store",
+        ])
+        assert args.executor == "processes"
+        assert args.no_store is True
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "run", "fig8_fifo_depth", "--executor", "gpu"]
+            )
+
+    def test_experiment_run_processes_matches_serial_output(self, capsys):
+        argv_tail = [
+            "--set", "scale=64", "--set", "workloads=Alex-7,NT-We",
+            "--set", "grid.fifo_depth=[1,8]", "--set", "config.num_pes=16",
+        ]
+        assert main(["experiment", "run", "fig8_fifo_depth", *argv_tail]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "experiment", "run", "fig8_fifo_depth",
+            "--jobs", "2", "--executor", "processes", *argv_tail,
+        ]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_info_and_clear_roundtrip(self, capsys, tmp_path, monkeypatch):
+        store_dir = tmp_path / "cli-store"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert str(store_dir) in out and "Entries" in out
+
+        # A tiny synthetic run populates the store through the session layer.
+        assert main([
+            "run", "--engine", "functional",
+            "--rows", "24", "--cols", "36", "--pes", "4", "--batch", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert len(list((store_dir / "layers").glob("*.npz"))) == 1
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 artifact store entry" in capsys.readouterr().out
+        assert list((store_dir / "layers").glob("*.npz")) == []
+
+    def test_no_store_skips_the_store(self, capsys, tmp_path, monkeypatch):
+        store_dir = tmp_path / "cli-store-disabled"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))
+        assert main([
+            "model", "compress", "alexnet_fc",
+            "--scale", "64", "--pes", "8", "--no-store",
+        ]) == 0
+        capsys.readouterr()
+        assert not (store_dir / "layers").exists()
+
+    def test_store_env_gate_disables_cli_store(self, capsys, tmp_path, monkeypatch):
+        store_dir = tmp_path / "cli-store-gated"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))
+        monkeypatch.setenv("REPRO_STORE", "0")
+        assert main([
+            "run", "--engine", "functional",
+            "--rows", "24", "--cols", "36", "--pes", "4", "--batch", "2",
+        ]) == 0
+        capsys.readouterr()
+        assert not (store_dir / "layers").exists()

@@ -98,3 +98,42 @@ class TestCompressionQuality:
         probabilities = np.array([count / total for count in frequencies.values()])
         entropy = -np.sum(probabilities * np.log2(probabilities))
         assert code.average_bits(frequencies) >= entropy - 1e-9
+
+
+class TestVectorizedTallyParity:
+    """The bincount/unique tally paths match the per-element string path."""
+
+    def test_from_symbols_matches_counter_path(self, rng):
+        symbols = rng.integers(0, 16, size=5000)
+        from collections import Counter
+        reference = HuffmanCode.from_frequencies(Counter(symbols.tolist()))
+        vectorized = HuffmanCode.from_symbols(symbols)
+        assert vectorized.codebook == reference.codebook
+
+    def test_encoded_bits_matches_string_encoding(self, rng):
+        # Both streams of a compressed layer: weight indices and zero runs.
+        for high in (2, 16, 256):
+            symbols = rng.integers(0, high, size=4000)
+            code = HuffmanCode.from_symbols(symbols)
+            assert code.encoded_bits(symbols) == len(code.encode(symbols))
+            assert code.encoded_bits(symbols.tolist()) == len(code.encode(symbols))
+
+    def test_encoded_bits_negative_and_float_symbols(self, rng):
+        # np.unique fallback (negative ints, floats) agrees with the string path.
+        negatives = rng.integers(-8, 8, size=1000)
+        code = HuffmanCode.from_symbols(negatives)
+        assert code.encoded_bits(negatives) == len(code.encode(negatives))
+        floats = np.round(rng.normal(size=500), 1)
+        float_code = HuffmanCode.from_symbols(floats)
+        assert float_code.encoded_bits(floats) == len(float_code.encode(floats))
+
+    def test_object_symbols_still_supported(self):
+        words = ["a", "b", "a", "c", "a", "b"]
+        code = HuffmanCode.from_symbols(np.asarray(words, dtype=object))
+        assert code.encoded_bits(np.asarray(words, dtype=object)) == len(code.encode(words))
+
+    def test_average_bits_consistent_with_weighted_bits(self):
+        frequencies = {0: 70, 1: 20, 2: 9, 3: 1}
+        code = HuffmanCode.from_frequencies(frequencies)
+        total = sum(frequencies.values())
+        assert code.average_bits(frequencies) == code.weighted_bits(frequencies) / total

@@ -207,7 +207,10 @@ class TestSession:
         session.run("cycle", layer, dense_activations)
         session.clear()
         info = session.cache_info()
+        store_stats = info.pop("store")
         assert all(cache == {"entries": 0, "hits": 0} for cache in info.values())
+        # No artifact store attached: its counters are permanently zero.
+        assert store_stats == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
 
     def test_compression_config_respected(self, rng):
         weights = rng.normal(size=(32, 40))

@@ -1,0 +1,228 @@
+"""Artifact store: bit-identical round trips, corruption handling, Session wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression.pipeline import (
+    CompressionConfig,
+    DeepCompressor,
+    weights_fingerprint,
+)
+from repro.engine.session import Session
+from repro.store import ArtifactStore, default_store_root, maybe_default_store, store_enabled
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture
+def weights():
+    rng = make_rng(11)
+    dense = rng.normal(0.0, 0.1, size=(96, 160))
+    dense[rng.random(dense.shape) >= 0.2] = 0.0
+    return dense
+
+
+@pytest.fixture
+def config():
+    return CompressionConfig(target_density=0.15)
+
+
+def compress(weights, config, num_pes=8):
+    return DeepCompressor(config).compress(weights, num_pes=num_pes, name="fc")
+
+
+class TestRoundTrip:
+    def test_layer_round_trips_bit_identical(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        layer = compress(weights, config)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, layer)
+        loaded = store.load_layer(fingerprint, 8, config, name="fc", activation_name="relu")
+
+        assert loaded is not None
+        assert loaded.shape == layer.shape
+        assert loaded.num_pes == layer.num_pes
+        assert loaded.storage_bits() == layer.storage_bits()
+        assert loaded.huffman_storage_bits() == layer.huffman_storage_bits()
+        assert np.array_equal(loaded.codebook.centroids, layer.codebook.centroids)
+        assert loaded.codebook.index_bits == layer.codebook.index_bits
+        assert np.array_equal(loaded.storage.to_dense(), layer.storage.to_dense())
+        assert np.array_equal(loaded.dense_weights(), layer.dense_weights())
+        assert loaded.metadata == layer.metadata
+        for fresh, reread in zip(layer.storage.per_pe, loaded.storage.per_pe):
+            assert np.array_equal(fresh.values, reread.values)
+            assert reread.values.dtype == np.float64
+            assert np.array_equal(fresh.runs, reread.runs)
+            assert np.array_equal(fresh.col_ptr, reread.col_ptr)
+            assert fresh.max_run == reread.max_run
+
+    def test_loader_applies_caller_name_and_activation(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        layer = compress(weights, config)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, layer)
+        loaded = store.load_layer(
+            fingerprint, 8, config, name="model/fc6", activation_name="identity"
+        )
+        assert loaded.name == "model/fc6"
+        assert loaded.activation_name == "identity"
+
+    def test_distinct_configs_get_distinct_entries(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        other = CompressionConfig(target_density=0.1)
+        store.store_layer(fingerprint, 8, config, compress(weights, config))
+        store.store_layer(fingerprint, 8, other, compress(weights, other))
+        store.store_layer(fingerprint, 4, config, compress(weights, config, num_pes=4))
+        assert len(store.entries()) == 3
+        assert store.load_layer(fingerprint, 4, config).num_pes == 4
+
+    def test_miss_on_unknown_key(self, tmp_path, config):
+        store = ArtifactStore(tmp_path)
+        assert store.load_layer("no-such-fingerprint", 8, config) is None
+        assert store.stats()["misses"] == 1
+        assert store.stats()["errors"] == 0
+
+
+class TestCorruption:
+    def _stored(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, compress(weights, config))
+        return store, fingerprint
+
+    def test_truncated_entry_is_detected_and_removed(self, tmp_path, weights, config):
+        store, fingerprint = self._stored(tmp_path, weights, config)
+        (entry,) = store.entries()
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        assert store.load_layer(fingerprint, 8, config) is None
+        assert store.stats()["errors"] == 1
+        assert store.entries() == []  # corrupt entry deleted, next store rewrites
+
+    def test_garbage_entry_is_detected_and_removed(self, tmp_path, weights, config):
+        store, fingerprint = self._stored(tmp_path, weights, config)
+        (entry,) = store.entries()
+        entry.write_bytes(b"this is not an npz archive")
+        assert store.load_layer(fingerprint, 8, config) is None
+        assert store.stats()["errors"] == 1
+        assert store.entries() == []
+
+    def test_corrupt_entry_is_recomputed_through_session(self, tmp_path, weights, config):
+        store, fingerprint = self._stored(tmp_path, weights, config)
+        (entry,) = store.entries()
+        entry.write_bytes(b"\x00" * 128)
+        session = Session(config, store=store)
+        layer = session.compress(weights, num_pes=8, name="fc")
+        reference = compress(weights, config)
+        assert np.array_equal(layer.storage.to_dense(), reference.storage.to_dense())
+        # Detected corruption -> miss -> recompress -> entry republished.
+        assert store.stats()["errors"] == 1
+        assert len(store.entries()) == 1
+
+    def test_partial_writes_are_never_visible(self, tmp_path, weights, config):
+        import os
+        import time
+
+        store, fingerprint = self._stored(tmp_path, weights, config)
+        # An abandoned temp file (a crashed writer) is not a store entry.
+        stale = store.root / "layers" / ".deadbeef.partial.tmp"
+        stale.write_bytes(b"partial")
+        old = time.time() - 2 * ArtifactStore.STALE_TMP_SECONDS
+        os.utime(stale, (old, old))
+        assert len(store.entries()) == 1
+        assert store.clear() == 1
+        assert store.entries() == []
+        assert not stale.exists()
+
+
+class TestSessionIntegration:
+    def test_cold_then_warm_across_sessions(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        cold = Session(config, store=store)
+        layer = cold.compress(weights, num_pes=8, name="fc")
+        info = cold.cache_info()
+        assert info["store"] == {"hits": 0, "misses": 1, "stores": 1, "errors": 0}
+
+        warm_store = ArtifactStore(tmp_path)
+        warm = Session(config, store=warm_store)
+        loaded = warm.compress(weights, num_pes=8, name="fc")
+        info = warm.cache_info()
+        assert info["store"]["hits"] == 1
+        assert info["store"]["stores"] == 0
+        assert np.array_equal(loaded.storage.to_dense(), layer.storage.to_dense())
+        assert loaded.storage_bits() == layer.storage_bits()
+
+        # In-process LRU still short-circuits the store on repeat calls.
+        warm.compress(weights, num_pes=8, name="fc")
+        assert warm.cache_info()["layers"]["hits"] == 1
+        assert warm.cache_info()["store"]["hits"] == 1
+
+    def test_session_without_store_reports_zero_stats(self, weights, config):
+        session = Session(config)
+        session.compress(weights, num_pes=8)
+        assert session.cache_info()["store"] == {
+            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
+        }
+
+    def test_store_describe_and_size(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        session = Session(config, store=store)
+        session.compress(weights, num_pes=8)
+        description = store.describe()
+        assert description["entries"] == 1
+        assert description["size_bytes"] > 0
+        assert description["root"] == str(tmp_path)
+
+
+class TestDefaults:
+    def test_env_root_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "elsewhere"))
+        assert default_store_root() == tmp_path / "elsewhere"
+
+    def test_store_disable_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert store_enabled()
+        monkeypatch.setenv("REPRO_STORE", "0")
+        assert not store_enabled()
+        assert maybe_default_store() is None
+        monkeypatch.setenv("REPRO_STORE", "1")
+        assert maybe_default_store() is not None
+
+
+class TestDegradedStores:
+    def test_unwritable_root_degrades_to_cache_off(self, tmp_path, weights, config):
+        # The root path runs through a regular file: mkdir must fail.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = ArtifactStore(blocker / "store")
+        session = Session(config, store=store)
+        layer = session.compress(weights, num_pes=8, name="fc")
+        reference = compress(weights, config)
+        assert np.array_equal(layer.storage.to_dense(), reference.storage.to_dense())
+        assert store.stats()["errors"] >= 1
+        assert store.stats()["hits"] == 0
+
+    def test_store_layer_reports_none_on_failure(self, tmp_path, weights, config):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = ArtifactStore(blocker / "store")
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        assert store.store_layer(fingerprint, 8, config, compress(weights, config)) is None
+
+    def test_clear_spares_fresh_tmp_files(self, tmp_path, weights, config):
+        import os
+        import time
+
+        store = ArtifactStore(tmp_path)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, compress(weights, config))
+        fresh = store.root / "layers" / ".inflight.123.tmp"
+        fresh.write_bytes(b"a writer is mid-publish")
+        stale = store.root / "layers" / ".abandoned.456.tmp"
+        stale.write_bytes(b"crashed writer leftovers")
+        old = time.time() - 2 * ArtifactStore.STALE_TMP_SECONDS
+        os.utime(stale, (old, old))
+        assert store.clear() == 1
+        assert fresh.exists()  # in-flight writer keeps its temp file
+        assert not stale.exists()
