@@ -1,5 +1,51 @@
-"""Setuptools shim for environments without PEP 517 build isolation/wheel."""
+"""Setuptools packaging for the repro-eie library.
 
-from setuptools import setup
+The base install depends only on numpy; the optional JIT kernel tier is a
+separate extra so the default environment stays dependency-light::
 
-setup()
+    pip install -e .            # numpy tier only
+    pip install -e .[native]    # + numba JIT kernels (cycle-native engine)
+    pip install -e .[dev]       # + test/benchmark tooling
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+HERE = Path(__file__).resolve().parent
+
+
+def _version() -> str:
+    """Read ``__version__`` from the package source without importing it."""
+    text = (HERE / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-eie",
+    version=_version(),
+    description=(
+        "Reproduction of EIE: Efficient Inference Engine on Compressed "
+        "Deep Neural Network (ISCA 2016)"
+    ),
+    long_description=(HERE / "README.md").read_text(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        # The optional JIT kernel tier (src/repro/kernels/).  Everything
+        # works without it; installing it activates the cycle-native engine
+        # and the kernel fast paths inside the compression pipeline.
+        "native": ["numba>=0.57"],
+        "dev": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["repro-eie = repro.cli:main"],
+    },
+)

@@ -77,7 +77,7 @@ from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
 from repro.store import ArtifactStore
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_BENCHMARKS",

@@ -377,21 +377,32 @@ class Session:
 
     # -- introspection -----------------------------------------------------------
 
-    def cache_info(self) -> dict[str, dict[str, int]]:
+    def cache_info(self) -> dict[str, dict]:
         """Entry and hit counts of the four caches (for tests and reports).
 
         With an attached artifact store the ``"store"`` entry carries its
-        hit/miss/store/error counters; without one it reads all zeros.
+        hit/miss/store/error counters; without one it reads all zeros.  The
+        ``"engines"`` entry additionally breaks entries down by engine name
+        under ``"by_engine"`` — engine-cache keys include the registry name,
+        so same-config instances of different backends (``cycle`` versus
+        ``cycle-native``) occupy distinct entries and never collide.
         """
         store_stats = (
             self.store.stats()
             if self.store is not None
             else {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
         )
+        by_engine: dict[str, int] = {}
+        for name, _config in self._engine_cache:
+            by_engine[name] = by_engine.get(name, 0) + 1
         return {
             "layers": {"entries": len(self._layer_cache), "hits": self._hits["layers"]},
             "prepared": {"entries": len(self._prepared_cache), "hits": self._hits["prepared"]},
-            "engines": {"entries": len(self._engine_cache), "hits": self._hits["engines"]},
+            "engines": {
+                "entries": len(self._engine_cache),
+                "hits": self._hits["engines"],
+                "by_engine": by_engine,
+            },
             "models": {"entries": len(self._model_cache), "hits": self._hits["models"]},
             "store": store_stats,
         }

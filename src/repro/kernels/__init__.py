@@ -1,0 +1,247 @@
+"""Optional JIT-compiled kernel tier behind the engine/compressor seams.
+
+This package carries the native (numba ``nopython``) implementations of the
+repo's four hottest loops — the broadcast/FIFO cycle recurrence, the
+interleaved CSC encode, the k-means assignment/update sweep, and the per-PE
+padding tallies — plus the capability probe that decides, at runtime,
+whether callers may use them:
+
+* :func:`available` — "could we?": numba imports *and* every kernel passes a
+  tiny self-test against its interpreted body (cached after the first call;
+  any compile or parity failure silently disables the whole tier).
+* :func:`enabled` — "may we?": the ``REPRO_NATIVE`` environment variable,
+  read on every call so tests and benchmarks can flip it; ``REPRO_NATIVE=0``
+  forces the numpy tier even when numba is installed.
+* :func:`use_native` — the one predicate hot paths consult:
+  ``enabled() and available()``.
+
+Fallback is graceful and warning-free: when numba is absent (the default
+install) importing this package costs one fast submodule import and every
+``use_native()`` call is a cached-boolean check, so the numpy tier behaves
+exactly as before.  See ``docs/ARCHITECTURE.md`` ("Kernel tier") for the
+selection order and how to add a kernel.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import os
+import warnings
+from typing import Any, Iterator
+
+__all__ = [
+    "available",
+    "enabled",
+    "use_native",
+    "get",
+    "status",
+    "numba_version_installed",
+    "disabled",
+    "reset_probe_cache",
+]
+
+#: Environment variable gating the native tier ("0" disables it).
+ENV_VAR = "REPRO_NATIVE"
+
+#: Cached outcome of the deep probe (None = not probed yet).
+_PROBE_RESULT: bool | None = None
+
+
+def numba_version_installed() -> str | None:
+    """The installed numba version string, or None — *without* importing numba.
+
+    Importing numba costs hundreds of milliseconds; CLI surfaces such as
+    ``repro --version`` and ``repro engine list`` only need presence, so this
+    checks distribution metadata instead.  :func:`available` does the real
+    import (and kernel self-test) lazily, on first actual use.
+    """
+    if importlib.util.find_spec("numba") is None:
+        return None
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("numba")
+    except Exception:  # metadata missing: present but version unknown
+        return "unknown"
+
+
+def _selftest(native: Any) -> bool:
+    """Run every JIT kernel on a tiny input and compare with its Python body.
+
+    This is the safety net that keeps the tier *graceful*: a numba that is
+    installed but cannot compile (unsupported platform, broken cache dir,
+    LLVM mismatch) or — worse — compiles to something that disagrees with
+    the interpreted semantics, disables the whole tier instead of corrupting
+    results mid-experiment.
+    """
+    import numpy as np
+
+    py = native.PY_FUNCS
+
+    # Broadcast/FIFO recurrence, single and batched.
+    work_t = np.array([[3, 1], [0, 2], [4, 4], [1, 0]], dtype=np.int64)
+    if int(native.recurrence_total_single(work_t, 2)) != int(
+        py["recurrence_total_single"](work_t, 2)
+    ):
+        return False
+    flat = np.vstack([work_t, work_t[:2]])
+    offsets = np.array([0, 4, 6], dtype=np.int64)
+    if not np.array_equal(
+        native.recurrence_totals_batch(flat, offsets, 2),
+        py["recurrence_totals_batch"](flat, offsets, 2),
+    ):
+        return False
+
+    # Interleaved CSC encode: counts then fill.
+    columns = np.array([0, 0, 1, 1, 1], dtype=np.int64)
+    rows = np.array([1, 6, 0, 2, 7], dtype=np.int64)
+    values = np.array([0.5, -1.0, 2.0, 0.25, 3.0], dtype=np.float64)
+    counts, nnz = native.interleaved_group_counts(columns, rows, 2, 2, 1)
+    counts_py, nnz_py = py["interleaved_group_counts"](columns, rows, 2, 2, 1)
+    if not (np.array_equal(counts, counts_py) and np.array_equal(nnz, nnz_py)):
+        return False
+    total = int(counts.sum())
+    starts = np.zeros(counts.shape[0], dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    out_values = np.zeros(total, dtype=np.float64)
+    out_runs = np.zeros(total, dtype=np.int64)
+    native.interleaved_fill_streams(
+        columns, rows, values, starts.copy(), 2, 2, 1, out_values, out_runs
+    )
+    out_values_py = np.zeros(total, dtype=np.float64)
+    out_runs_py = np.zeros(total, dtype=np.int64)
+    py["interleaved_fill_streams"](
+        columns, rows, values, starts.copy(), 2, 2, 1, out_values_py, out_runs_py
+    )
+    if not (
+        np.array_equal(out_values, out_values_py)
+        and np.array_equal(out_runs, out_runs_py)
+    ):
+        return False
+
+    # Nearest-centroid assignment with a duplicate and a tie in play.
+    centroids = np.array([0.0, 1.0, 1.0, 3.0], dtype=np.float64)
+    order = np.argsort(centroids, kind="stable").astype(np.int64)
+    sorted_centroids = centroids[order]
+    probe_values = np.array([-0.5, 0.5, 1.0, 2.0, 4.0], dtype=np.float64)
+    got = np.empty(probe_values.shape[0], dtype=np.int64)
+    native.nearest_assign(probe_values, sorted_centroids, order, got)
+    want = np.empty(probe_values.shape[0], dtype=np.int64)
+    py["nearest_assign"](probe_values, sorted_centroids, order, want)
+    if not np.array_equal(got, want):
+        return False
+
+    # One k-means sweep over a toy histogram.
+    unique_values = np.array([-2.0, -1.0, 0.5, 2.0, 2.5], dtype=np.float64)
+    weight_counts = np.array([1.0, 2.0, 1.0, 3.0, 1.0], dtype=np.float64)
+    weighted = unique_values * weight_counts
+    prefix = np.zeros(unique_values.shape[0] + 1, dtype=np.float64)
+    np.cumsum(weight_counts, out=prefix[1:])
+    seed_centroids = np.array([-1.5, 0.0, 2.25], dtype=np.float64)
+    got_centroids = native.kmeans_sweeps(
+        unique_values, weight_counts, weighted, prefix, seed_centroids.copy(), 5
+    )
+    want_centroids = py["kmeans_sweeps"](
+        unique_values, weight_counts, weighted, prefix, seed_centroids.copy(), 5
+    )
+    if not np.array_equal(got_centroids, want_centroids):
+        return False
+
+    # Padding tallies over two concatenated PE streams.
+    values_concat = np.array([0.0, 1.0, 0.0, 0.0, 2.0, 3.0], dtype=np.float64)
+    col_ptrs = np.array([[0, 2, 3], [0, 1, 3]], dtype=np.int64)
+    bases = np.array([0, 3], dtype=np.int64)
+    got_pad = np.zeros((2, 2), dtype=np.int64)
+    native.padding_tallies(values_concat, col_ptrs, bases, got_pad)
+    want_pad = np.zeros((2, 2), dtype=np.int64)
+    py["padding_tallies"](values_concat, col_ptrs, bases, want_pad)
+    return np.array_equal(got_pad, want_pad)
+
+
+def available() -> bool:
+    """Whether the JIT tier can actually run on this machine (cached).
+
+    True only when numba imports *and* every kernel compiles and agrees with
+    its interpreted body on the self-test inputs.  The first call in a
+    numba-equipped process pays the JIT compile of the probe signatures
+    (amortised by ``cache=True`` afterwards); everywhere else this is a
+    near-free cached boolean.
+    """
+    global _PROBE_RESULT
+    if _PROBE_RESULT is None:
+        try:
+            from repro.kernels import native
+
+            if not native.NUMBA_AVAILABLE:
+                _PROBE_RESULT = False
+            else:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore")
+                    _PROBE_RESULT = bool(_selftest(native))
+        except Exception:
+            _PROBE_RESULT = False
+    return _PROBE_RESULT
+
+
+def enabled() -> bool:
+    """Whether the environment permits the native tier (``REPRO_NATIVE`` != 0).
+
+    Read on every call — tests and benchmarks flip it at runtime.
+    """
+    return os.environ.get(ENV_VAR, "1") != "0"
+
+
+def use_native() -> bool:
+    """The one predicate hot paths consult before taking a kernel fast path."""
+    return enabled() and available()
+
+
+def get() -> Any:
+    """The kernel module whose public names are the JIT dispatchers.
+
+    Only meaningful when :func:`available` is True; callers must consult
+    :func:`use_native` first.
+    """
+    from repro.kernels import native
+
+    return native
+
+
+def status() -> dict:
+    """Backend inventory for CLI surfaces (``engine list``, ``--version``)."""
+    numba_version = numba_version_installed()
+    is_available = available() if numba_version is not None else False
+    from repro.kernels.native import PY_FUNCS
+
+    return {
+        "numba": numba_version,
+        "available": is_available,
+        "enabled": enabled(),
+        "active": is_available and enabled(),
+        "kernels": sorted(PY_FUNCS),
+    }
+
+
+@contextlib.contextmanager
+def disabled() -> Iterator[None]:
+    """Force the numpy tier inside the block (sets ``REPRO_NATIVE=0``).
+
+    Used by the perf harness to keep numpy-tier BENCH entries honest on
+    numba-equipped machines, and by the backend-parameterized parity suites.
+    """
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+
+
+def reset_probe_cache() -> None:
+    """Forget the cached :func:`available` outcome (test hook)."""
+    global _PROBE_RESULT
+    _PROBE_RESULT = None

@@ -1,0 +1,434 @@
+"""The nopython kernel bodies of the native tier.
+
+Every kernel here is written as a *plain Python* function over numpy arrays
+and scalar arithmetic — no Python objects, no fancy indexing — so that numba
+can compile it in ``nopython`` mode.  When numba is importable the public
+names are rebound to their JIT-compiled dispatchers at import time; the
+original interpreted bodies are retained in :data:`PY_FUNCS` so the parity
+suite can pin the kernel *semantics* bit-for-bit against the numpy
+implementations even on machines without numba.
+
+Bit-identity contract (enforced by ``tests/test_kernels_native.py`` and the
+backend-parameterized hypothesis suites):
+
+* :func:`recurrence_total_single` / :func:`recurrence_totals_batch` — pure
+  int64 arithmetic, exactly the per-broadcast recurrence of
+  ``core/cycle_model.py`` (``t_b = max(t_{b-1} + 1, M_{b-D})``;
+  ``done[p] = max(done[p], t_b) + work[p, b]``).
+* :func:`interleaved_group_counts` / :func:`interleaved_fill_streams` — the
+  relative-indexed interleaved CSC encode of ``compression/csc.py``: entries
+  visit each (PE, column) group in column-major/local-row order, padding
+  zeros split gaps longer than ``max_run`` with the same ``gap // (max_run +
+  1)`` arithmetic, and values are copied bit-for-bit.
+* :func:`nearest_assign` — ``quantization._nearest_centroid_indices``
+  semantics including ``np.searchsorted`` insertion, prefer-left on distance
+  ties, first-slot-of-run for duplicate centroids and the original-order
+  tie-break (assumes finite inputs, like the numpy path's callers).
+* :func:`kmeans_sweeps` — the whole Lloyd iteration of
+  ``quantization.kmeans_codebook`` over the unique values: the exact-
+  comparator binary-searched crossovers, index-ascending float accumulation
+  (matching ``np.bincount``'s summation order), the duplicate-centroid
+  element-wise fallback, and the ``atol=1e-12`` convergence test.
+* :func:`padding_tallies` — per-(PE, column) padding-zero counts over the
+  concatenated value streams (integer counting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_VERSION",
+    "PY_FUNCS",
+    "recurrence_total_single",
+    "recurrence_totals_batch",
+    "interleaved_group_counts",
+    "interleaved_fill_streams",
+    "nearest_assign",
+    "kmeans_sweeps",
+    "padding_tallies",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION: str | None = numba.__version__
+except ImportError:  # interpreted fallback: keep the bodies importable
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+    prange = range
+
+
+# -- cycle-model broadcast/FIFO recurrence -----------------------------------
+
+
+def recurrence_total_single(work_t, fifo_depth):
+    """Total cycles of one broadcast schedule.
+
+    ``work_t`` is the broadcast-major ``(num_broadcasts, num_pes)`` int64
+    work matrix (each row is one broadcast's per-PE entry counts — the
+    transpose of the simulator's ``(num_pes, num_broadcasts)`` layout, so
+    the inner PE loop walks contiguous memory).
+    """
+    num_broadcasts, num_pes = work_t.shape
+    if num_broadcasts == 0:
+        return np.int64(0)
+    done = np.zeros(num_pes, dtype=np.int64)
+    peaks = np.zeros(num_broadcasts, dtype=np.int64)
+    t = np.int64(0)
+    for b in range(num_broadcasts):
+        t = t + 1
+        if b >= fifo_depth:
+            m = peaks[b - fifo_depth]
+            if m > t:
+                t = m
+        peak = np.int64(0)
+        for p in range(num_pes):
+            d = done[p]
+            if d < t:
+                d = t
+            d = d + work_t[b, p]
+            done[p] = d
+            if d > peak:
+                peak = d
+        peaks[b] = peak
+    return peaks[num_broadcasts - 1]
+
+
+def recurrence_totals_batch(flat_work, offsets, fifo_depth):
+    """Batched recurrence: items are independent, so they run in parallel.
+
+    ``flat_work`` concatenates every item's broadcast-major work matrix along
+    axis 0 (``(total_broadcasts, num_pes)`` int64); ``offsets`` has
+    ``batch + 1`` entries delimiting each item's slice.  Returns int64 totals
+    of shape ``(batch,)`` (0 for zero-length items).
+    """
+    batch = offsets.shape[0] - 1
+    num_pes = flat_work.shape[1]
+    totals = np.zeros(batch, dtype=np.int64)
+    for item in prange(batch):
+        start = offsets[item]
+        end = offsets[item + 1]
+        num_broadcasts = end - start
+        if num_broadcasts > 0:
+            done = np.zeros(num_pes, dtype=np.int64)
+            peaks = np.zeros(num_broadcasts, dtype=np.int64)
+            t = np.int64(0)
+            for b in range(num_broadcasts):
+                t = t + 1
+                if b >= fifo_depth:
+                    m = peaks[b - fifo_depth]
+                    if m > t:
+                        t = m
+                peak = np.int64(0)
+                row = start + b
+                for p in range(num_pes):
+                    d = done[p]
+                    if d < t:
+                        d = t
+                    d = d + flat_work[row, p]
+                    done[p] = d
+                    if d > peak:
+                        peak = d
+                peaks[b] = peak
+            totals[item] = peaks[num_broadcasts - 1]
+    return totals
+
+
+# -- interleaved CSC encode ---------------------------------------------------
+
+
+def interleaved_group_counts(columns, rows, num_pes, num_cols, max_run):
+    """Expanded entry and non-zero counts per flat (PE, column) group.
+
+    ``columns``/``rows`` list the dense non-zeros in column-major order with
+    rows ascending within each column (the :func:`_sparse_from_dense`
+    contract), both int64.  ``counts[pe * num_cols + col]`` is the number of
+    stored entries (true non-zeros plus padding zeros) the encode will emit
+    for that group; ``nnz[...]`` only the true non-zeros (so padding per
+    group is their difference).  A PE meets its entries per column in order,
+    so one ``last column / last local row`` register pair per PE tracks the
+    gaps.
+    """
+    counts = np.zeros(num_pes * num_cols, dtype=np.int64)
+    nnz = np.zeros(num_pes * num_cols, dtype=np.int64)
+    last_col = np.full(num_pes, -1, dtype=np.int64)
+    last_local = np.zeros(num_pes, dtype=np.int64)
+    span = max_run + 1
+    for i in range(columns.shape[0]):
+        col = columns[i]
+        row = rows[i]
+        pe = row % num_pes
+        local = row // num_pes
+        if last_col[pe] == col:
+            gap = local - last_local[pe] - 1
+        else:
+            gap = local
+            last_col[pe] = col
+        last_local[pe] = local
+        group = pe * num_cols + col
+        counts[group] += gap // span + 1
+        nnz[group] += 1
+    return counts, nnz
+
+
+def interleaved_fill_streams(
+    columns, rows, values, cursors, num_pes, num_cols, max_run, out_values, out_runs
+):
+    """Scatter the padded (value, run) streams into their pe-major positions.
+
+    ``cursors`` holds each flat (PE, column) group's next write position
+    (initially the exclusive prefix sum of :func:`interleaved_group_counts`)
+    and is advanced in place.  For every non-zero, ``gap // (max_run + 1)``
+    padding entries ``(0.0, max_run)`` precede the value with its residual
+    run — the same arithmetic as the vectorised ``_expand_streams``.
+    """
+    last_col = np.full(num_pes, -1, dtype=np.int64)
+    last_local = np.zeros(num_pes, dtype=np.int64)
+    span = max_run + 1
+    for i in range(columns.shape[0]):
+        col = columns[i]
+        row = rows[i]
+        pe = row % num_pes
+        local = row // num_pes
+        if last_col[pe] == col:
+            gap = local - last_local[pe] - 1
+        else:
+            gap = local
+            last_col[pe] = col
+        last_local[pe] = local
+        group = pe * num_cols + col
+        position = cursors[group]
+        padding = gap // span
+        for _ in range(padding):
+            out_values[position] = 0.0
+            out_runs[position] = max_run
+            position += 1
+        out_values[position] = values[i]
+        out_runs[position] = gap - padding * span
+        cursors[group] = position + 1
+
+
+# -- k-means weight sharing ---------------------------------------------------
+
+
+def nearest_assign(values, sorted_centroids, order, out):
+    """Index of the nearest centroid per value, with ``argmin`` tie-breaks.
+
+    ``sorted_centroids``/``order`` come from one stable argsort of the
+    original centroid array (tiny, done by the caller in numpy).  Reproduces
+    ``_nearest_centroid_indices`` exactly for finite inputs: searchsorted
+    insertion, the closer sorted neighbour wins with ties preferring the
+    smaller value, duplicate centroids resolve to the first slot of their
+    sorted run, and exact-distance ties between distinct values return the
+    smaller original index.
+    """
+    k = sorted_centroids.shape[0]
+    for i in range(values.shape[0]):
+        v = values[i]
+        low = 0
+        high = k
+        while low < high:
+            mid = (low + high) >> 1
+            if sorted_centroids[mid] < v:
+                low = mid + 1
+            else:
+                high = mid
+        left = low - 1
+        if left < 0:
+            left = 0
+        right = low
+        if right > k - 1:
+            right = k - 1
+        left_distance = abs(v - sorted_centroids[left])
+        right_distance = abs(v - sorted_centroids[right])
+        if left_distance <= right_distance:
+            chosen = left
+            other = right
+        else:
+            chosen = right
+            other = left
+        # First sorted slot holding the chosen value (duplicate-run collapse).
+        chosen_value = sorted_centroids[chosen]
+        low2 = 0
+        high2 = chosen
+        while low2 < high2:
+            mid = (low2 + high2) >> 1
+            if sorted_centroids[mid] < chosen_value:
+                low2 = mid + 1
+            else:
+                high2 = mid
+        result = order[low2]
+        if left_distance == right_distance and (
+            sorted_centroids[left] != sorted_centroids[right]
+        ):
+            other_value = sorted_centroids[other]
+            low3 = 0
+            high3 = other
+            while low3 < high3:
+                mid = (low3 + high3) >> 1
+                if sorted_centroids[mid] < other_value:
+                    low3 = mid + 1
+                else:
+                    high3 = mid
+            alternative = order[low3]
+            if alternative < result:
+                result = alternative
+        out[i] = result
+
+
+def kmeans_sweeps(
+    unique_values, counts, weighted_values, counts_prefix, centroids, max_iterations
+):
+    """Run the Lloyd iteration of ``kmeans_codebook`` to convergence.
+
+    Operates on the sorted unique values with float64 multiplicities
+    (``counts``), their products (``weighted_values``) and the precomputed
+    count prefix sums, mutating ``centroids`` (a sorted float64 copy owned by
+    the caller) in place and returning it.  Matches the numpy loop bit for
+    bit: distinct centroids use the k-1 exact-comparator binary-searched
+    crossovers; duplicated centroids fall back to the element-wise nearest
+    assignment; per-cluster sums accumulate in ascending index order exactly
+    like ``np.bincount``; convergence is ``|new - old| <= 1e-12`` element-wise.
+    """
+    n = unique_values.shape[0]
+    k = centroids.shape[0]
+    member_counts = np.empty(k, dtype=np.float64)
+    member_sums = np.empty(k, dtype=np.float64)
+    bounds = np.empty(k + 1, dtype=np.int64)
+    for _ in range(max_iterations):
+        has_duplicates = False
+        for c in range(k - 1):
+            if centroids[c + 1] == centroids[c]:
+                has_duplicates = True
+                break
+        for c in range(k):
+            member_counts[c] = 0.0
+            member_sums[c] = 0.0
+        if has_duplicates:
+            # Element-wise nearest over the (sorted) centroids; the stable
+            # sort order of an already-sorted array is the identity, so the
+            # original-index mapping is a no-op here.
+            for i in range(n):
+                v = unique_values[i]
+                low = 0
+                high = k
+                while low < high:
+                    mid = (low + high) >> 1
+                    if centroids[mid] < v:
+                        low = mid + 1
+                    else:
+                        high = mid
+                left = low - 1
+                if left < 0:
+                    left = 0
+                right = low
+                if right > k - 1:
+                    right = k - 1
+                if abs(v - centroids[left]) <= abs(v - centroids[right]):
+                    chosen = left
+                else:
+                    chosen = right
+                chosen_value = centroids[chosen]
+                low2 = 0
+                high2 = chosen
+                while low2 < high2:
+                    mid = (low2 + high2) >> 1
+                    if centroids[mid] < chosen_value:
+                        low2 = mid + 1
+                    else:
+                        high2 = mid
+                member_counts[low2] += counts[i]
+                member_sums[low2] += weighted_values[i]
+        else:
+            bounds[0] = 0
+            bounds[k] = n
+            segment_start = 0
+            for c in range(k - 1):
+                left_c = centroids[c]
+                right_c = centroids[c + 1]
+                low = segment_start
+                high = n
+                while low < high:
+                    mid = (low + high) // 2
+                    v = unique_values[mid]
+                    if abs(v - left_c) <= abs(v - right_c):
+                        low = mid + 1
+                    else:
+                        high = mid
+                bounds[c + 1] = low
+                segment_start = low
+            for c in range(k):
+                member_counts[c] = (
+                    counts_prefix[bounds[c + 1]] - counts_prefix[bounds[c]]
+                )
+                total = 0.0
+                for i in range(bounds[c], bounds[c + 1]):
+                    total = total + weighted_values[i]
+                member_sums[c] = total
+        new_centroids = np.empty(k, dtype=np.float64)
+        for c in range(k):
+            if member_counts[c] > 0.0:
+                new_centroids[c] = member_sums[c] / member_counts[c]
+            else:
+                new_centroids[c] = centroids[c]
+        new_centroids = np.sort(new_centroids)
+        converged = True
+        for c in range(k):
+            if not (abs(new_centroids[c] - centroids[c]) <= 1e-12):
+                converged = False
+                break
+        for c in range(k):
+            centroids[c] = new_centroids[c]
+        if converged:
+            break
+    return centroids
+
+
+# -- per-(PE, column) padding tallies ----------------------------------------
+
+
+def padding_tallies(values_concat, col_ptrs, bases, out):
+    """Padding-zero entries per (PE, column) over the concatenated streams.
+
+    ``values_concat`` joins every PE's value stream in PE order;
+    ``col_ptrs`` is the ``(num_pes, num_cols + 1)`` stack of per-PE column
+    pointers and ``bases[pe]`` each PE's offset into the concatenation.  PEs
+    are independent, so they tally in parallel.
+    """
+    num_pes = col_ptrs.shape[0]
+    num_cols = col_ptrs.shape[1] - 1
+    for pe in prange(num_pes):
+        base = bases[pe]
+        for col in range(num_cols):
+            tally = np.int64(0)
+            for j in range(col_ptrs[pe, col], col_ptrs[pe, col + 1]):
+                if values_concat[base + j] == 0.0:
+                    tally += 1
+            out[pe, col] = tally
+
+
+#: The interpreted kernel bodies, retained for numba-free parity testing.
+PY_FUNCS = {
+    "recurrence_total_single": recurrence_total_single,
+    "recurrence_totals_batch": recurrence_totals_batch,
+    "interleaved_group_counts": interleaved_group_counts,
+    "interleaved_fill_streams": interleaved_fill_streams,
+    "nearest_assign": nearest_assign,
+    "kmeans_sweeps": kmeans_sweeps,
+    "padding_tallies": padding_tallies,
+}
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+    _sequential = njit(cache=True, nogil=True)
+    _parallel = njit(cache=True, nogil=True, parallel=True)
+    recurrence_total_single = _sequential(recurrence_total_single)
+    recurrence_totals_batch = _parallel(recurrence_totals_batch)
+    interleaved_group_counts = _sequential(interleaved_group_counts)
+    interleaved_fill_streams = _sequential(interleaved_fill_streams)
+    nearest_assign = _sequential(nearest_assign)
+    kmeans_sweeps = _sequential(kmeans_sweeps)
+    padding_tallies = _parallel(padding_tallies)

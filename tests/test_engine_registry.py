@@ -11,6 +11,7 @@ from repro.engine import (
     CycleEngine,
     EngineRegistry,
     FunctionalEngine,
+    NativeCycleEngine,
     RTLEngine,
     Session,
     SimulationEngine,
@@ -21,9 +22,10 @@ from repro.errors import ConfigurationError, SimulationError
 
 class TestRegistry:
     def test_builtin_engines_registered(self):
-        assert EngineRegistry.names() == ("cycle", "functional", "rtl")
+        assert EngineRegistry.names() == ("cycle", "cycle-native", "functional", "rtl")
         assert EngineRegistry.get("functional") is FunctionalEngine
         assert EngineRegistry.get("cycle") is CycleEngine
+        assert EngineRegistry.get("cycle-native") is NativeCycleEngine
         assert EngineRegistry.get("rtl") is RTLEngine
 
     def test_create_binds_config(self):
@@ -208,6 +210,8 @@ class TestSession:
         session.clear()
         info = session.cache_info()
         store_stats = info.pop("store")
+        engine_stats = info.pop("engines")
+        assert engine_stats == {"entries": 0, "hits": 0, "by_engine": {}}
         assert all(cache == {"entries": 0, "hits": 0} for cache in info.values())
         # No artifact store attached: its counters are permanently zero.
         assert store_stats == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}

@@ -1,0 +1,424 @@
+"""The native kernel tier: capability probe, kernel parity, seam plumbing.
+
+Three layers of coverage, none of which require numba:
+
+* the probe — ``available()`` / ``enabled()`` / ``use_native()`` semantics,
+  the ``REPRO_NATIVE=0`` override, the ``disabled()`` context manager and the
+  ``status()`` inventory the CLI renders;
+* kernel-body parity — the interpreted bodies in ``native.PY_FUNCS`` are
+  property-tested bit-for-bit against the library's numpy implementations
+  (run with the tier forced off, so they really are the numpy paths).  On a
+  numba-equipped machine a second ``jit`` leg runs the same properties
+  through the compiled dispatchers;
+* the seams — the ``cycle-native`` engine keys the session engine cache
+  separately from ``cycle``, and the perf harness's regression gate only
+  compares baseline entries whose recorded backend matches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.cli import main as cli_main
+from repro.compression.csc import InterleavedCSC
+from repro.compression.quantization import (
+    _nearest_centroid_indices,
+    kmeans_codebook,
+)
+from repro.core.config import EIEConfig
+from repro.core.cycle_model import simulate_layer_cycles, simulate_layer_cycles_batch
+from repro.engine.session import Session
+from repro.kernels import native
+from repro.utils.perfbench import BenchResult, check_against_baseline, merge_results
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+PY = native.PY_FUNCS
+
+#: The two kernel implementations under test: the interpreted bodies always,
+#: the JIT dispatchers only where numba compiled them successfully.
+IMPLS = [
+    "python",
+    pytest.param(
+        "jit",
+        marks=pytest.mark.skipif(
+            not kernels.available(), reason="numba unavailable"
+        ),
+    ),
+]
+
+
+def impl_funcs(impl: str) -> dict:
+    if impl == "python":
+        return PY
+    return {name: getattr(native, name) for name in PY}
+
+
+# -- the capability probe -----------------------------------------------------
+
+
+class TestProbe:
+    def test_available_is_a_cached_bool(self):
+        first = kernels.available()
+        assert isinstance(first, bool)
+        assert kernels.available() is first
+        if not native.NUMBA_AVAILABLE:
+            assert first is False
+        kernels.reset_probe_cache()
+        assert kernels.available() is first
+
+    def test_env_gate_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "0")
+        assert not kernels.enabled()
+        assert not kernels.use_native()
+        monkeypatch.setenv(kernels.ENV_VAR, "1")
+        assert kernels.enabled()
+        assert kernels.use_native() == kernels.available()
+
+    def test_disabled_context_restores_unset_variable(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_VAR, raising=False)
+        with kernels.disabled():
+            assert os.environ[kernels.ENV_VAR] == "0"
+            assert not kernels.use_native()
+        assert kernels.ENV_VAR not in os.environ
+
+    def test_disabled_context_restores_set_variable(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "1")
+        with kernels.disabled():
+            assert not kernels.enabled()
+        assert os.environ[kernels.ENV_VAR] == "1"
+
+    def test_status_inventory(self):
+        status = kernels.status()
+        assert set(status) == {"numba", "available", "enabled", "active", "kernels"}
+        assert status["kernels"] == sorted(PY)
+        assert status["active"] == (status["available"] and status["enabled"])
+
+    def test_numba_presence_probe_matches_deep_probe(self):
+        version = kernels.numba_version_installed()
+        if version is None:
+            # No distribution metadata -> the deep probe cannot succeed.
+            assert not native.NUMBA_AVAILABLE
+            assert not kernels.available()
+
+    def test_selftest_passes_on_this_machine(self):
+        # Interpreted bodies trivially agree with themselves; with numba the
+        # compiled dispatchers must agree with the interpreted bodies.
+        assert kernels._selftest(native)
+
+
+# -- kernel-body parity -------------------------------------------------------
+
+
+@st.composite
+def dense_matrices(draw, max_rows=80, max_cols=16):
+    kind = draw(st.sampled_from(["general", "single_row", "tall", "empty"]))
+    if kind == "single_row":
+        rows, cols = 1, draw(st.integers(1, max_cols))
+    elif kind == "tall":
+        rows, cols = draw(st.integers(40, 160)), draw(st.integers(1, 4))
+    elif kind == "empty":
+        rows, cols = draw(st.integers(1, 8)), draw(st.integers(1, 4))
+    else:
+        rows, cols = draw(st.integers(1, max_rows)), draw(st.integers(1, max_cols))
+    density = 0.0 if kind == "empty" else draw(st.sampled_from([0.02, 0.1, 0.4, 1.0]))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    matrix = rng.normal(size=(rows, cols))
+    matrix[rng.random((rows, cols)) >= density] = 0.0
+    return matrix
+
+
+def _column_major_nonzeros(matrix):
+    """(columns, rows, values) in the encode's column-major visit order."""
+    cols_list, rows_list, vals_list = [], [], []
+    for j in range(matrix.shape[1]):
+        nonzero = np.nonzero(matrix[:, j])[0]
+        cols_list.extend([j] * nonzero.size)
+        rows_list.extend(nonzero.tolist())
+        vals_list.extend(matrix[nonzero, j].tolist())
+    return (
+        np.asarray(cols_list, dtype=np.int64),
+        np.asarray(rows_list, dtype=np.int64),
+        np.asarray(vals_list, dtype=np.float64),
+    )
+
+
+class TestRecurrenceKernels:
+    @pytest.mark.parametrize("impl", IMPLS)
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_pes=st.sampled_from([1, 2, 5, 16]),
+        broadcasts=st.sampled_from([0, 1, 7, 8, 9, 60]),
+        depth=st.sampled_from([1, 2, 8, 64]),
+    )
+    def test_single_total_matches_numpy_simulate(
+        self, impl, seed, num_pes, broadcasts, depth
+    ):
+        rng = np.random.default_rng(seed)
+        work = rng.poisson(1.5, size=(num_pes, broadcasts)).astype(np.int64)
+        with kernels.disabled():
+            expected = simulate_layer_cycles(work, fifo_depth=depth).total_cycles
+        fn = impl_funcs(impl)["recurrence_total_single"]
+        assert int(fn(np.ascontiguousarray(work.T), depth)) == expected
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @SETTINGS
+    @given(seed=st.integers(0, 2**31 - 1), depth=st.sampled_from([1, 2, 8, 32]))
+    def test_batch_totals_match_numpy_batch(self, impl, seed, depth):
+        rng = np.random.default_rng(seed)
+        num_pes = int(rng.integers(1, 9))
+        works = [
+            rng.poisson(1.5, size=(num_pes, int(rng.integers(0, 50)))).astype(np.int64)
+            for _ in range(int(rng.integers(1, 8)))
+        ]
+        with kernels.disabled():
+            expected = [
+                stats.total_cycles
+                for stats in simulate_layer_cycles_batch(works, fifo_depth=depth)
+            ]
+        lengths = np.asarray([w.shape[1] for w in works], dtype=np.int64)
+        offsets = np.zeros(len(works) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        flat = np.empty((int(offsets[-1]), num_pes), dtype=np.int64)
+        for i, work in enumerate(works):
+            flat[offsets[i] : offsets[i + 1], :] = work.T
+        fn = impl_funcs(impl)["recurrence_totals_batch"]
+        assert fn(flat, offsets, depth).tolist() == expected
+
+
+class TestCSCEncodeKernels:
+    @pytest.mark.parametrize("impl", IMPLS)
+    @SETTINGS
+    @given(
+        matrix=dense_matrices(),
+        num_pes=st.sampled_from([1, 2, 4, 7]),
+        max_run=st.sampled_from([1, 3, 15]),
+    )
+    def test_counts_and_streams_match_from_dense(self, impl, matrix, num_pes, max_run):
+        num_cols = matrix.shape[1]
+        columns, rows, values = _column_major_nonzeros(matrix)
+        funcs = impl_funcs(impl)
+        counts, nnz = funcs["interleaved_group_counts"](
+            columns, rows, num_pes, num_cols, max_run
+        )
+        starts = np.zeros(counts.shape[0], dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        total = int(counts.sum())
+        out_values = np.zeros(total, dtype=np.float64)
+        out_runs = np.zeros(total, dtype=np.int64)
+        funcs["interleaved_fill_streams"](
+            columns, rows, values, starts.copy(), num_pes, num_cols, max_run,
+            out_values, out_runs,
+        )
+        with kernels.disabled():
+            expected = InterleavedCSC.from_dense(
+                matrix, num_pes=num_pes, max_run=max_run
+            )
+        group_offsets = np.zeros(counts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=group_offsets[1:])
+        for pe in range(num_pes):
+            pe_slice = expected.per_pe[pe]
+            lo = group_offsets[pe * num_cols]
+            hi = group_offsets[(pe + 1) * num_cols]
+            assert np.array_equal(out_values[lo:hi], pe_slice.values)
+            assert np.array_equal(out_runs[lo:hi], pe_slice.runs)
+            per_col = counts[pe * num_cols : (pe + 1) * num_cols]
+            col_ptr = np.zeros(num_cols + 1, dtype=np.int64)
+            np.cumsum(per_col, out=col_ptr[1:])
+            assert np.array_equal(col_ptr, pe_slice.col_ptr)
+            assert int(nnz[pe * num_cols : (pe + 1) * num_cols].sum()) == int(
+                np.count_nonzero(pe_slice.values)
+            )
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @SETTINGS
+    @given(matrix=dense_matrices(), num_pes=st.sampled_from([1, 3, 4]))
+    def test_padding_tallies_match_per_column_recount(self, impl, matrix, num_pes):
+        with kernels.disabled():
+            interleaved = InterleavedCSC.from_dense(matrix, num_pes=num_pes)
+        num_cols = matrix.shape[1]
+        streams = [pe_slice.values for pe_slice in interleaved.per_pe]
+        values_concat = (
+            np.concatenate(streams) if streams else np.empty(0, dtype=np.float64)
+        )
+        col_ptrs = np.stack([pe_slice.col_ptr for pe_slice in interleaved.per_pe])
+        entries = np.asarray([stream.shape[0] for stream in streams], dtype=np.int64)
+        bases = np.zeros(num_pes, dtype=np.int64)
+        np.cumsum(entries[:-1], out=bases[1:])
+        out = np.zeros((num_pes, num_cols), dtype=np.int64)
+        impl_funcs(impl)["padding_tallies"](values_concat, col_ptrs, bases, out)
+        for pe, pe_slice in enumerate(interleaved.per_pe):
+            for col in range(num_cols):
+                segment = pe_slice.values[
+                    pe_slice.col_ptr[col] : pe_slice.col_ptr[col + 1]
+                ]
+                assert out[pe, col] == int(np.count_nonzero(segment == 0.0))
+
+
+class TestQuantizationKernels:
+    @pytest.mark.parametrize("impl", IMPLS)
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        k=st.sampled_from([2, 4, 8, 16]),
+        with_duplicates=st.booleans(),
+    )
+    def test_nearest_assign_matches_numpy_path(self, impl, seed, k, with_duplicates):
+        rng = np.random.default_rng(seed)
+        if with_duplicates:
+            pool = np.array([-2.0, -1.0, -0.5, 0.0, 0.0, 0.5, 0.75, 1.0, 2.0])
+            centroids = rng.choice(pool, size=k)
+            values = rng.choice(pool, size=64) / rng.choice([1.0, 2.0, 4.0])
+        else:
+            centroids = rng.normal(size=k)
+            values = rng.normal(size=150)
+        with kernels.disabled():
+            expected = _nearest_centroid_indices(values, centroids)
+        order = np.argsort(centroids, kind="stable").astype(np.int64)
+        out = np.empty(values.shape[0], dtype=np.int64)
+        impl_funcs(impl)["nearest_assign"](
+            np.ascontiguousarray(values, dtype=np.float64),
+            centroids[order],
+            order,
+            out,
+        )
+        assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        k=st.sampled_from([2, 4, 8, 16]),
+        quantized=st.booleans(),
+    )
+    def test_kmeans_sweeps_matches_numpy_loop(self, impl, seed, k, quantized):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=int(rng.integers(k + 1, 400))) * 0.3
+        if quantized:
+            # Heavy value multiplicities: the histogram path really matters.
+            values = np.round(values, 1)
+        unique_values = np.unique(values)
+        if unique_values.size <= k:
+            values = np.concatenate([values, rng.normal(size=k + 1)])
+            unique_values = np.unique(values)
+        with kernels.disabled():
+            expected = kmeans_codebook(values, k, rng=seed)
+        # Mirror kmeans_codebook's setup for the kernel call.
+        unique_values, unique_counts = np.unique(values, return_counts=True)
+        counts = unique_counts.astype(np.float64)
+        centroids = np.sort(
+            np.asarray(np.linspace(values.min(), values.max(), k), dtype=np.float64)
+        )
+        counts_prefix = np.concatenate([[0.0], np.cumsum(counts)])
+        actual = impl_funcs(impl)["kmeans_sweeps"](
+            unique_values, counts, unique_values * counts, counts_prefix,
+            centroids.copy(), 30,
+        )
+        assert np.array_equal(actual, expected)
+
+
+# -- the seams ----------------------------------------------------------------
+
+
+class TestEngineSeam:
+    def test_cycle_native_falls_back_bit_identically(
+        self, compressed_layer, small_config, dense_activations
+    ):
+        from repro.engine import EngineRegistry
+
+        with kernels.disabled():
+            native_engine = EngineRegistry.create("cycle-native", small_config)
+            numpy_engine = EngineRegistry.create("cycle", small_config)
+            ours = native_engine.run(
+                native_engine.prepare(compressed_layer), dense_activations
+            )
+            reference = numpy_engine.run(
+                numpy_engine.prepare(compressed_layer), dense_activations
+            )
+        assert ours.stats.total_cycles == reference.stats.total_cycles
+        assert np.array_equal(ours.stats.busy_cycles, reference.stats.busy_cycles)
+
+    def test_session_cache_keys_engines_by_backend(self):
+        session = Session()
+        config = EIEConfig(num_pes=4)
+        cycle = session.engine("cycle", config)
+        native_engine = session.engine("cycle-native", config)
+        assert cycle is not native_engine
+        info = session.cache_info()["engines"]
+        assert info["entries"] == 2
+        assert info["by_engine"] == {"cycle": 1, "cycle-native": 1}
+        # Same (name, config) -> cache hit, not a third entry.
+        assert session.engine("cycle", config) is cycle
+        assert session.cache_info()["engines"]["entries"] == 2
+
+    def test_simulate_backend_arg_falls_back_without_numba(self):
+        work = np.array([[2, 0, 3], [1, 1, 1]], dtype=np.int64)
+        with kernels.disabled():
+            numpy_stats = simulate_layer_cycles(work, fifo_depth=2)
+            forced = simulate_layer_cycles(work, fifo_depth=2, backend="native")
+        assert forced.total_cycles == numpy_stats.total_cycles
+
+
+class TestPerfbenchBackendMatching:
+    def _result(self, backend: str, seconds: float) -> BenchResult:
+        return BenchResult(
+            name="simulate", seconds=seconds, repeats=1, work_items=1000.0,
+            unit="entries", backend=backend,
+        )
+
+    def test_cross_backend_baseline_is_not_compared(self, tmp_path):
+        baseline = tmp_path / "bench.json"
+        merge_results(baseline, [self._result("native", 0.001)], "quick")
+        # 100x slower, but recorded on the other backend: no failure.
+        failures = check_against_baseline(
+            [self._result("numpy", 0.1)], baseline, "quick"
+        )
+        assert failures == []
+
+    def test_same_backend_baseline_still_gates(self, tmp_path):
+        baseline = tmp_path / "bench.json"
+        merge_results(baseline, [self._result("numpy", 0.001)], "quick")
+        failures = check_against_baseline(
+            [self._result("numpy", 0.1)], baseline, "quick"
+        )
+        assert len(failures) == 1
+        assert "slower than the baseline" in failures[0]
+
+    def test_entry_metadata_records_environment(self, tmp_path):
+        path = tmp_path / "bench.json"
+        data = merge_results(path, [self._result("numpy", 0.01)], "quick")
+        entry = data["entries"]["quick/simulate"]
+        assert entry["backend"] == "numpy"
+        assert entry["cpu_count"] >= 1
+        assert "machine" in entry and "numba_version" in entry
+
+
+class TestCLISurfaces:
+    def test_version_reports_native_tier(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "native kernels" in out
+        if kernels.numba_version_installed() is None:
+            assert "not installed" in out
+
+    def test_engine_list_reports_backend_status(self, capsys):
+        assert cli_main(["engine", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle-native" in out
+        assert "Native kernel tier" in out
+        if not kernels.available():
+            assert "fallback to numpy" in out
+
+    def test_engine_list_reports_env_override(self, capsys, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "0")
+        assert cli_main(["engine", "list"]) == 0
+        assert "disabled" in capsys.readouterr().out
