@@ -30,6 +30,7 @@ kernels, JIT compilation absorbed by the warmup call.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import shutil
 import sys
 import tempfile
@@ -56,6 +57,8 @@ from repro.engine.session import Session
 from repro.experiments import ExperimentRunner
 from repro.models.registry import ModelRegistry
 from repro.models.spec import ModelSpec
+from repro.models.inputs import synthetic_model_inputs
+from repro.serve import BatchPolicy, Server, run_open_loop
 from repro.store import ArtifactStore
 from repro.utils.perfbench import (
     BenchResult,
@@ -77,11 +80,13 @@ SCALES = {
         rows=4096, cols=9216, density=0.09, activation_density=0.35,
         num_pes=64, batch=64, fifo_depth=8, repeats=2,
         model_scale=4.0, experiment_scale=None, experiment_repeats=1,
+        serve_scale=16.0, serve_requests=300, serve_rate=600.0,
     ),
     "quick": dict(
         rows=512, cols=1024, density=0.10, activation_density=0.35,
         num_pes=16, batch=16, fifo_depth=8, repeats=3,
         model_scale=16.0, experiment_scale=16.0, experiment_repeats=2,
+        serve_scale=32.0, serve_requests=120, serve_rate=800.0,
     ),
 }
 
@@ -130,7 +135,10 @@ def run_suite(mode: str) -> list[BenchResult]:
     num_pes, batch = scale["num_pes"], scale["batch"]
     repeats = scale["repeats"]
     dense_cells = rows * cols
-    params = {k: v for k, v in scale.items() if k != "repeats"}
+    params = {
+        k: v for k, v in scale.items()
+        if k != "repeats" and not k.startswith("serve_")
+    }
     results: list[BenchResult] = []
 
     print(f"[{mode}] {rows}x{cols} @ {scale['density']:.0%}, "
@@ -332,6 +340,62 @@ def run_suite(mode: str) -> list[BenchResult]:
     serial_seconds = results[-2].seconds
     print(f"  experiment (processes-4): {results[-1].seconds:8.4f} s "
           f"({serial_seconds / results[-1].seconds:.2f}x vs serial)", flush=True)
+
+    # 13-15. The serving layer under open-loop load: sustained throughput of
+    #    the dynamically batched daemon path plus its p50/p99 request latency
+    #    (queue wait + batched dispatch, as a client would measure it).  One
+    #    warmup run absorbs startup compression; the percentiles are recorded
+    #    as seconds-per-request so the throughput gate catches tail blowups.
+    serve_model = ModelRegistry.build(
+        ModelSpec(model="neuraltalk_lstm", scale=scale["serve_scale"])
+    )
+    serve_inputs = synthetic_model_inputs(
+        serve_model, batch=scale["serve_requests"], seed=29
+    )
+    serve_config = EIEConfig(num_pes=num_pes, fifo_depth=scale["fifo_depth"])
+    serve_params = {
+        **params,
+        "model": "neuraltalk_lstm", "serve_scale": scale["serve_scale"],
+        "requests": scale["serve_requests"], "rate_rps": scale["serve_rate"],
+        "max_batch": 16, "max_wait_us": 1000.0,
+    }
+
+    async def serve_open_loop():
+        async with Server(
+            [serve_model],
+            config=serve_config,
+            policy=BatchPolicy(max_batch=16, max_wait_us=1000.0),
+        ) as server:
+            return await run_open_loop(
+                lambda vector: server.submit(serve_model.name, vector),
+                serve_inputs,
+                rate_rps=scale["serve_rate"],
+                seed=31,
+            )
+
+    asyncio.run(serve_open_loop())  # warmup: compression + prepared caches
+    report = asyncio.run(serve_open_loop())
+    if report.completed != scale["serve_requests"]:
+        print(f"  serve: WARNING only {report.completed}/{scale['serve_requests']} "
+              f"requests completed ({report.rejected} rejected, "
+              f"{report.errors} errors)", flush=True)
+    results.append(BenchResult(
+        "serve_throughput", seconds=report.duration_s, repeats=1,
+        work_items=float(report.completed), unit="requests",
+        params=serve_params,
+    ))
+    results.append(BenchResult(
+        "serve_p50", seconds=report.p50_ms / 1e3, repeats=report.completed,
+        work_items=1.0, unit="requests", params=serve_params,
+    ))
+    results.append(BenchResult(
+        "serve_p99", seconds=report.p99_ms / 1e3, repeats=report.completed,
+        work_items=1.0, unit="requests", params=serve_params,
+    ))
+    print(f"  serve:           {report.throughput_rps:8.1f} req/s at "
+          f"{scale['serve_rate']:.0f} rps offered "
+          f"(p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms, "
+          f"mean batch {report.mean_batch:.1f})", flush=True)
     return results
 
 

@@ -10,7 +10,10 @@ The library implements, in pure Python + numpy:
   breakdown, an SRAM read-energy model, technology scaling);
 * analytic baseline platforms (CPU, GPU, mobile GPU, DaDianNao, ...);
 * the nine Table III benchmark workloads and the analysis code that
-  regenerates every table and figure of the paper's evaluation.
+  regenerates every table and figure of the paper's evaluation;
+* an async serving layer (``repro.serve``): dynamic batching, admission
+  control, a TCP daemon + client and an open-loop load generator, with
+  responses bit-identical to the offline ``Session.run_model`` path.
 
 Quick start::
 
@@ -74,15 +77,17 @@ from repro.models import (
     register_model,
 )
 from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
+from repro.serve import BatchPolicy, Server, ServeResponse, run_open_loop
 from repro.store import ArtifactStore
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_BENCHMARKS",
     "ArtifactStore",
     "BENCHMARK_NAMES",
+    "BatchPolicy",
     "CSCMatrix",
     "CompressedLayer",
     "CompressedModel",
@@ -117,6 +122,8 @@ __all__ = [
     "ModelSpec",
     "PEAreaModel",
     "PreparedLayer",
+    "ServeResponse",
+    "Server",
     "Session",
     "SimulationEngine",
     "WeightCodebook",
@@ -128,4 +135,5 @@ __all__ = [
     "register_experiment",
     "register_model",
     "run_experiment",
+    "run_open_loop",
 ]

@@ -296,6 +296,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="density of the synthetic input vectors "
              "(default: the model's expected Act%%)",
     )
+
+    serve_common = argparse.ArgumentParser(add_help=False)
+    serve_common.add_argument(
+        "--models", nargs="+", default=["neuraltalk_lstm"], metavar="NAME",
+        help="registered models to serve",
+    )
+    serve_common.add_argument(
+        "--engine", choices=EngineRegistry.names(), default="cycle",
+        help="registered simulation backend requests run on",
+    )
+    serve_common.add_argument(
+        "--scale", type=float, default=None,
+        help="down-scale the served networks by this factor (1 = paper size)",
+    )
+    serve_common.add_argument("--seed", type=int, default=None, help="model builder RNG seed")
+    serve_common.add_argument(
+        "--pes", type=int, default=16, help="number of processing elements"
+    )
+    serve_common.add_argument(
+        "--fifo-depth", type=int, default=8, help="activation FIFO depth"
+    )
+    serve_common.add_argument(
+        "--density", type=float, default=None,
+        help="prune every node to this weight density before compression",
+    )
+    serve_common.add_argument(
+        "--max-batch", type=int, default=16,
+        help="largest coalesced request batch per dispatch",
+    )
+    serve_common.add_argument(
+        "--max-wait-us", type=float, default=1000.0,
+        help="how long a non-full batch waits for stragglers (microseconds)",
+    )
+    serve_common.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="per-model queue bound; arrivals beyond it are rejected",
+    )
+    serve_common.add_argument(
+        "--no-pipeline", action="store_true",
+        help="dispatch whole models sequentially instead of node-pipelined",
+    )
+    serve_common.add_argument(
+        "--no-store", action="store_true",
+        help="do not consult or populate the on-disk artifact store",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", parents=[serve_common],
+        help="run the async inference daemon (or `serve bench` to load-test one)",
+    )
+    serve_parser.add_argument(
+        "--host", type=str, default="127.0.0.1", help="daemon listen address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="daemon listen port (0 = pick an ephemeral port and print it)",
+    )
+    serve_sub = serve_parser.add_subparsers(dest="serve_command", required=False)
+    serve_bench_parser = serve_sub.add_parser(
+        "bench", parents=[serve_common],
+        help="drive the open-loop load generator against a daemon or an "
+             "in-process server",
+    )
+    serve_bench_parser.add_argument(
+        "--connect", type=str, default=None, metavar="HOST:PORT",
+        help="benchmark a running daemon instead of an in-process server",
+    )
+    serve_bench_parser.add_argument(
+        "--model", type=str, default=None,
+        help="which served model to drive (default: the only/first one)",
+    )
+    serve_bench_parser.add_argument(
+        "--rate", nargs="+", type=float, default=[400.0], metavar="RPS",
+        help="offered load sweep, requests/second (open-loop Poisson arrivals)",
+    )
+    serve_bench_parser.add_argument(
+        "--requests", type=int, default=200, help="requests per offered-load point"
+    )
+    serve_bench_parser.add_argument(
+        "--arrival-seed", type=int, default=0, help="RNG seed for the arrival process"
+    )
+    serve_bench_parser.add_argument(
+        "--input-seed", type=int, default=1, help="RNG seed for the request vectors"
+    )
+    serve_bench_parser.add_argument(
+        "--verify", action="store_true",
+        help="after the sweep, re-run every request through the offline "
+             "Session.run_model path and require bit-identical outputs",
+    )
     return parser
 
 
@@ -672,6 +761,243 @@ def _run_engine_command(args: argparse.Namespace) -> str:
     )
 
 
+def _build_serve_server(args: argparse.Namespace):
+    """Construct (not start) a :class:`repro.serve.Server` from CLI flags."""
+    from repro.serve import BatchPolicy, Server
+
+    if args.pes < 1:
+        raise SystemExit("serve: --pes must be >= 1")
+    if args.density is not None and not 0.0 < args.density <= 1.0:
+        raise SystemExit("serve: --density must be in (0, 1]")
+    specs = [
+        ModelSpec(model=name, scale=args.scale, seed=args.seed)
+        for name in args.models
+    ]
+    return Server(
+        specs,
+        engine=args.engine,
+        config=EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth),
+        compression=CompressionConfig(target_density=args.density),
+        policy=BatchPolicy(
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            queue_depth=args.queue_depth,
+        ),
+        store=_store_for(args),
+        pipeline=not args.no_pipeline,
+    )
+
+
+def _run_serve_daemon(args: argparse.Namespace) -> str:
+    """``serve``: the long-lived TCP daemon with graceful SIGTERM drain."""
+    import asyncio
+    import signal
+
+    from repro.serve import start_daemon
+
+    async def daemon() -> str:
+        server = await _build_serve_server(args).start()
+        listener = await start_daemon(server, host=args.host, port=args.port)
+        host, port = listener.sockets[0].getsockname()[:2]
+        print(
+            f"repro-serve: listening on {host}:{port} "
+            f"(models: {', '.join(server.models)}; engine {server.engine_name}, "
+            f"{server.config.num_pes} PEs)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        # Drain: stop accepting connections, serve everything already
+        # queued, then report.  In-flight responses flush on their open
+        # connections before the process exits.
+        print("repro-serve: draining...", flush=True)
+        listener.close()
+        await listener.wait_closed()
+        stats = await server.close(drain=True)
+        await asyncio.sleep(0.1)  # let connection tasks flush final responses
+        totals = {
+            key: sum(model[key] for model in stats["models"].values())
+            for key in ("received", "served", "rejected", "errors")
+        }
+        return (
+            f"repro-serve: drained ({totals['served']} served, "
+            f"{totals['rejected']} rejected, {totals['errors']} errors)"
+        )
+
+    return asyncio.run(daemon())
+
+
+def _serve_bench_offline_verify(
+    model: ModelIR,
+    session: Session,
+    engine: str,
+    config: EIEConfig,
+    inputs,
+    reports,
+) -> str:
+    """Bit-compare every served output with the offline batch-1 path."""
+    import numpy as np
+
+    checked = mismatched = 0
+    reference: dict[int, object] = {}
+    for report in reports:
+        if report.outputs is None:
+            continue
+        for index, served in enumerate(report.outputs):
+            if served is None:
+                continue  # rejected/errored request: nothing to compare
+            if index not in reference:
+                reference[index] = session.run_model(
+                    engine, model, inputs[index], config
+                ).outputs[0]
+            checked += 1
+            if not np.array_equal(served, reference[index]):
+                mismatched += 1
+    if checked == 0:
+        raise SystemExit("serve bench: --verify had no completed requests to check")
+    if mismatched:
+        raise SystemExit(
+            f"serve bench: VERIFY FAILED — {mismatched}/{checked} responses "
+            "differ from the offline Session.run_model path"
+        )
+    return f"verify: {checked} responses bit-identical to the offline run_model path"
+
+
+def _run_serve_bench(args: argparse.Namespace) -> str:
+    """``serve bench``: open-loop sweep against a daemon or in-process server."""
+    import asyncio
+
+    from repro.serve import AsyncServeClient, run_open_loop
+
+    if args.requests < 1:
+        raise SystemExit("serve bench: --requests must be >= 1")
+
+    async def bench_remote() -> tuple[list, str | None]:
+        host, _, port_text = args.connect.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise SystemExit("serve bench: --connect expects HOST:PORT")
+        client = await AsyncServeClient.connect(host, int(port_text))
+        try:
+            described = await client.models()
+            name = args.model or sorted(described)[0]
+            if name not in described:
+                raise SystemExit(
+                    f"serve bench: daemon does not serve {name!r} "
+                    f"(serving: {', '.join(sorted(described))})"
+                )
+            description = described[name]
+            if args.verify and description.get("spec") is None:
+                raise SystemExit(
+                    "serve bench: --verify needs a registry-built model "
+                    "(the daemon served a raw IR with no rebuild spec)"
+                )
+            model = (
+                ModelRegistry.build(ModelSpec.from_dict(description["spec"]))
+                if description.get("spec") is not None
+                else None
+            )
+            config = EIEConfig(
+                num_pes=description["num_pes"], fifo_depth=description["fifo_depth"]
+            )
+            inputs = _serve_bench_inputs(args, model, description)
+            reports = []
+            for rate in args.rate:
+                reports.append(
+                    await run_open_loop(
+                        lambda vector: client.infer(name, vector),
+                        inputs,
+                        rate_rps=rate,
+                        seed=args.arrival_seed,
+                        capture_outputs=args.verify,
+                    )
+                )
+            verdict = None
+            if args.verify:
+                session = Session(
+                    CompressionConfig.from_dict(description["compression"]),
+                    config=config,
+                )
+                verdict = _serve_bench_offline_verify(
+                    model, session, description["engine"], config, inputs, reports
+                )
+            return reports, verdict
+        finally:
+            await client.close()
+
+    async def bench_local() -> tuple[list, str | None]:
+        server = _build_serve_server(args)
+        async with server:
+            name = args.model or server.models[0]
+            if name not in server.models:
+                raise SystemExit(
+                    f"serve bench: server does not serve {name!r} "
+                    f"(serving: {', '.join(server.models)})"
+                )
+            description = server.describe(name)
+            model = ModelRegistry.build(ModelSpec.from_dict(description["spec"]))
+            inputs = _serve_bench_inputs(args, model, description)
+            reports = []
+            for rate in args.rate:
+                reports.append(
+                    await run_open_loop(
+                        lambda vector: server.submit(name, vector),
+                        inputs,
+                        rate_rps=rate,
+                        seed=args.arrival_seed,
+                        capture_outputs=args.verify,
+                    )
+                )
+        verdict = None
+        if args.verify:
+            config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
+            session = Session(
+                CompressionConfig(target_density=args.density), config=config
+            )
+            verdict = _serve_bench_offline_verify(
+                model, session, args.engine, config, inputs, reports
+            )
+        return reports, verdict
+
+    reports, verdict = asyncio.run(
+        bench_remote() if args.connect else bench_local()
+    )
+    rows = [
+        [r["offered_rps"], r["completed"], r["rejected"], r["errors"],
+         f"{r['throughput_rps']:.1f}", f"{r['p50_ms']:.3f}", f"{r['p99_ms']:.3f}",
+         f"{r['mean_batch']:.2f}"]
+        for r in (report.record() for report in reports)
+    ]
+    output = "Open-loop serving benchmark:\n" + format_table(
+        ["Offered (rps)", "Done", "Rej", "Err", "Throughput (rps)",
+         "p50 (ms)", "p99 (ms)", "Mean batch"],
+        rows,
+    )
+    if verdict:
+        output += f"\n\n{verdict}"
+    return output
+
+
+def _serve_bench_inputs(args: argparse.Namespace, model, description):
+    """The deterministic request matrix for one bench run."""
+    if model is not None:
+        return synthetic_model_inputs(
+            model, batch=args.requests, seed=args.input_seed
+        )
+    # No rebuild spec (raw IR daemon): dense uniform vectors still exercise
+    # the service, they just cannot be verified offline.
+    rng = make_rng(args.input_seed)
+    return rng.uniform(0.1, 1.0, size=(args.requests, description["input_size"]))
+
+
+def _run_serve_command(args: argparse.Namespace) -> str:
+    if getattr(args, "serve_command", None) == "bench":
+        return _run_serve_bench(args)
+    return _run_serve_daemon(args)
+
+
 def _run_summary(args: argparse.Namespace) -> str:
     config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
     rows = [
@@ -717,6 +1043,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _run_model_command(args)
         elif args.command == "engine":
             output = _run_engine_command(args)
+        elif args.command == "serve":
+            output = _run_serve_command(args)
         else:
             output = _run_summary(args)
     except (ReproError, OSError) as error:

@@ -62,6 +62,26 @@ from repro.utils.validation import require_matrix
 __all__ = ["Session"]
 
 
+def _propagate_rows(
+    inputs: np.ndarray, weights_t: np.ndarray, bias: np.ndarray | None, activation: str
+) -> np.ndarray:
+    """Node propagation computed one row at a time.
+
+    A batched ``inputs @ weights_t`` goes through BLAS dgemm, whose blocked
+    summation order differs from the dgemv call a single vector takes — the
+    results agree only to ~1 ulp, not bitwise.  Serving coalesces concurrent
+    single-vector requests into batches and promises each client the exact
+    bits an offline batch-1 ``run_model`` would have produced, so both paths
+    must reduce in the same order.  Row slices of a C-contiguous matrix are
+    contiguous vectors, so every row here is the same dgemv a batch-1 call
+    makes, and batch composition can never change an individual answer.
+    """
+    pre = np.stack([row @ weights_t for row in np.ascontiguousarray(inputs)])
+    if bias is not None:
+        pre = pre + bias
+    return ACTIVATIONS[activation](pre)
+
+
 class Session:
     """Shared caches for compressing, preparing and running layers.
 
@@ -276,6 +296,39 @@ class Session:
         self._cache_put("models", self._model_cache, key, compressed)
         return compressed
 
+    def run_node(
+        self,
+        name: str,
+        node: Any,
+        layer: Any,
+        inputs: np.ndarray,
+        config: EIEConfig | None = None,
+    ) -> tuple[Any, np.ndarray]:
+        """Run one model node on engine ``name`` and propagate its outputs.
+
+        ``inputs`` is the node's ``(batch, fan_in)`` activation matrix (as
+        produced by :meth:`ModelIR.node_input`).  Returns ``(NodeRun,
+        outputs)`` where ``outputs`` are the measured activations the
+        downstream nodes consume.  Both :meth:`run_model` and the serving
+        pipeline dispatch through this method, so a node executes — and
+        reduces, bit for bit — identically whether the whole model runs in
+        one loop or each node runs on its own pipeline stage.
+        """
+        from repro.models.compressed import NodeRun, measured_density
+
+        result = self.run(name, layer, inputs, config)
+        outputs = _propagate_rows(
+            inputs, layer.dense_weights().T, node.bias, node.activation
+        )
+        record = NodeRun(
+            name=node.name,
+            layer=layer,
+            result=result,
+            input_density=measured_density(inputs),
+            output_density=measured_density(outputs),
+        )
+        return record, outputs
+
     def run_model(
         self,
         name: str,
@@ -302,12 +355,7 @@ class Session:
         per-node engine results and, for timing engines, whole-network
         latency/energy totals.
         """
-        from repro.models.compressed import (
-            CompressedModel,
-            ModelRunResult,
-            NodeRun,
-            measured_density,
-        )
+        from repro.models.compressed import CompressedModel, ModelRunResult
         from repro.models.ir import ModelIR
 
         config = config or self.default_config
@@ -349,21 +397,9 @@ class Session:
         for node in ir:
             layer = compressed.layers[node.name]
             inputs = ir.node_input(node, matrix, node_outputs)
-            result = self.run(name, layer, inputs, config)
-            pre = inputs @ layer.dense_weights().T
-            if node.bias is not None:
-                pre = pre + node.bias
-            outputs = ACTIVATIONS[node.activation](pre)
+            record, outputs = self.run_node(name, node, layer, inputs, config)
             node_outputs[node.name] = outputs
-            records.append(
-                NodeRun(
-                    name=node.name,
-                    layer=layer,
-                    result=result,
-                    input_density=measured_density(inputs),
-                    output_density=measured_density(outputs),
-                )
-            )
+            records.append(record)
         return ModelRunResult(
             model_name=ir.name,
             engine=name,
@@ -392,18 +428,29 @@ class Session:
             if self.store is not None
             else {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
         )
-        by_engine: dict[str, int] = {}
-        for name, _config in self._engine_cache:
-            by_engine[name] = by_engine.get(name, 0) + 1
+        # Snapshot sizes, hit counters and the engine-key breakdown under the
+        # lock: a concurrent _cache_put may insert or LRU-evict while we read,
+        # and iterating a mutating dict raises RuntimeError.
+        with self._lock:
+            by_engine: dict[str, int] = {}
+            for name, _config in self._engine_cache:
+                by_engine[name] = by_engine.get(name, 0) + 1
+            sizes = {
+                "layers": len(self._layer_cache),
+                "prepared": len(self._prepared_cache),
+                "engines": len(self._engine_cache),
+                "models": len(self._model_cache),
+            }
+            hits = dict(self._hits)
         return {
-            "layers": {"entries": len(self._layer_cache), "hits": self._hits["layers"]},
-            "prepared": {"entries": len(self._prepared_cache), "hits": self._hits["prepared"]},
+            "layers": {"entries": sizes["layers"], "hits": hits["layers"]},
+            "prepared": {"entries": sizes["prepared"], "hits": hits["prepared"]},
             "engines": {
-                "entries": len(self._engine_cache),
-                "hits": self._hits["engines"],
+                "entries": sizes["engines"],
+                "hits": hits["engines"],
                 "by_engine": by_engine,
             },
-            "models": {"entries": len(self._model_cache), "hits": self._hits["models"]},
+            "models": {"entries": sizes["models"], "hits": hits["models"]},
             "store": store_stats,
         }
 

@@ -30,3 +30,24 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a benchmark workload specification is invalid."""
+
+
+class ServeError(ReproError):
+    """Raised when the serving layer is misused or misconfigured."""
+
+
+class ServerClosedError(ServeError):
+    """Raised when a request reaches a server that is draining or closed."""
+
+
+class ServerOverloadedError(ServeError):
+    """Raised when a request is rejected by admission control.
+
+    Attributes:
+        retry_after_s: suggested client back-off, estimated from the queue
+            depth and the server's smoothed per-request service time.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

@@ -30,11 +30,13 @@ from repro.experiments.models_catalog import MODEL_EXPERIMENTS
 from repro.experiments.registry import Experiment, ExperimentRegistry, register_experiment
 from repro.experiments.result import ExperimentResult
 from repro.experiments.runner import ExperimentContext, ExperimentRunner, run_experiment
+from repro.experiments.serve_catalog import SERVE_EXPERIMENTS
 from repro.experiments.spec import ExperimentSpec
 
 __all__ = [
     "BUILTIN_EXPERIMENTS",
     "MODEL_EXPERIMENTS",
+    "SERVE_EXPERIMENTS",
     "Experiment",
     "ExperimentContext",
     "ExperimentRegistry",

@@ -1,0 +1,53 @@
+"""repro.serve: the async EIE inference service.
+
+The fourth seam of the library (after :mod:`repro.engine`,
+:mod:`repro.experiments` and :mod:`repro.models`): a long-lived server that
+turns concurrent single-vector requests — the EIE paper's latency-sensitive
+batch-1 datacenter workload — into the batched ``(batch, n_in)`` path the
+cycle engine vectorizes, without changing a single answer bit.
+
+* :class:`Server` / :class:`BatchPolicy` / :class:`ServeResponse` — warm
+  :class:`~repro.engine.session.Session`, models pre-compressed at startup,
+  per-model dynamic batching with admission control and graceful drain
+  (:mod:`repro.serve.server`);
+* :class:`ModelPipeline` — node-pipelined whole-model execution across
+  per-stage engine sessions (:mod:`repro.serve.pipeline`);
+* :func:`run_open_loop` / :class:`LoadReport` — Poisson open-loop load
+  generation with p50/p99/throughput reporting
+  (:mod:`repro.serve.loadgen`);
+* :func:`start_daemon` / :class:`AsyncServeClient` — the JSON-lines TCP
+  daemon and its client (:mod:`repro.serve.protocol`).
+
+Typical use::
+
+    import asyncio
+    from repro.core.config import EIEConfig
+    from repro.serve import Server
+
+    async def main():
+        async with Server(["neuraltalk_lstm"], config=EIEConfig(num_pes=16)) as server:
+            response = await server.submit("neuraltalk_lstm", vector)
+            print(response.batch_size, response.latency_s)
+
+    asyncio.run(main())
+
+The offered-load sweep is a registered experiment (``serve_latency``), so
+serving performance is tracked exactly like the paper figures.  See
+``docs/ARCHITECTURE.md`` ("The serving layer").
+"""
+
+from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.serve.pipeline import ModelPipeline
+from repro.serve.protocol import AsyncServeClient, start_daemon
+from repro.serve.server import BatchPolicy, Server, ServeResponse
+
+__all__ = [
+    "AsyncServeClient",
+    "BatchPolicy",
+    "LoadReport",
+    "ModelPipeline",
+    "ServeResponse",
+    "Server",
+    "run_open_loop",
+    "start_daemon",
+]

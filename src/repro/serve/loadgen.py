@@ -1,0 +1,193 @@
+"""Open-loop load generation against a serving endpoint.
+
+Closed-loop clients (send, wait, send) hide queueing: the arrival rate
+drops whenever the server slows down, so tail latency looks flat no matter
+how overloaded the system is.  Serving systems are instead measured
+**open loop**: requests arrive on a Poisson process at a fixed offered
+rate whether or not earlier ones finished, and the report shows what the
+rate did to p50/p99 latency, throughput and the rejection ratio.
+
+:func:`run_open_loop` drives any async ``submit(vector) -> ServeResponse``
+callable — the in-process :class:`~repro.serve.server.Server`, or a
+:class:`~repro.serve.protocol.AsyncServeClient` talking to a daemon over
+TCP — and returns a :class:`LoadReport`.  Arrivals are deterministic per
+seed (exponential gaps from the shared RNG helpers), so a sweep point is
+reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServerOverloadedError
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = ["LoadReport", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """What one offered-load point did to the service.
+
+    Wall-clock latency percentiles are measured from each request's
+    *scheduled arrival* to its completion, so queueing delay (the thing
+    offered load actually moves) is included.  ``sim_latency_us`` /
+    ``sim_cycles`` aggregate the simulated per-item EIE latencies carried
+    in the responses (``None`` on engines without timing).
+    """
+
+    offered_rps: float
+    requests: int
+    completed: int
+    rejected: int
+    errors: int
+    duration_s: float
+    latencies_ms: np.ndarray
+    batch_sizes: np.ndarray
+    sim_latency_us: float | None
+    sim_cycles: float | None
+    outputs: list[np.ndarray] | None = None
+    responses: list[Any] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock run time."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def _percentile(self, q: float) -> float:
+        if self.latencies_ms.size == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_ms, q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self._percentile(50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return self._percentile(99.0)
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.latencies_ms.mean()) if self.latencies_ms.size else float("nan")
+
+    @property
+    def max_ms(self) -> float:
+        return float(self.latencies_ms.max()) if self.latencies_ms.size else float("nan")
+
+    @property
+    def mean_batch(self) -> float:
+        """Average coalesced batch size over completed requests."""
+        return float(self.batch_sizes.mean()) if self.batch_sizes.size else 0.0
+
+    def record(self) -> dict[str, Any]:
+        """A flat JSON-friendly record (one experiment grid point)."""
+        return {
+            "offered_rps": self.offered_rps,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "mean_batch": self.mean_batch,
+            "sim_latency_us": self.sim_latency_us,
+            "sim_cycles": self.sim_cycles,
+        }
+
+
+async def run_open_loop(
+    submit: Callable[[np.ndarray], Awaitable[Any]],
+    inputs: np.ndarray,
+    rate_rps: float,
+    seed: int = 0,
+    capture_outputs: bool = False,
+) -> LoadReport:
+    """Fire ``inputs`` at ``submit`` with Poisson arrivals at ``rate_rps``.
+
+    Each row of ``inputs`` is one request; row *i* is request *i* on every
+    run with the same seed, so two sweeps (or a served run and an offline
+    re-run) see identical vectors in identical order.  Requests are
+    scheduled open loop — request *i* launches at its arrival time even if
+    earlier requests are still in flight.  :class:`ServerOverloadedError`
+    counts as a rejection (that is admission control working, not a bug);
+    any other exception counts as an error.
+
+    With ``capture_outputs=True`` the report keeps each completed request's
+    output vector (indexed like ``inputs``) for bit-for-bit verification
+    against the offline path.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 2 or inputs.shape[0] == 0:
+        raise ConfigurationError(
+            f"load generator needs a non-empty (requests, n_in) matrix, "
+            f"got shape {inputs.shape}"
+        )
+    if rate_rps <= 0:
+        raise ConfigurationError(f"offered rate must be > 0 rps, got {rate_rps}")
+    count = inputs.shape[0]
+    rng = make_rng(derive_seed(seed, "serve-loadgen", count))
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=count)
+    gaps[0] = 0.0  # the first request arrives immediately
+    arrivals = np.cumsum(gaps)
+
+    latencies: list[float] = [float("nan")] * count
+    batch_sizes: list[int] = []
+    sim_latency: list[float] = []
+    sim_cycles: list[int] = []
+    outputs: list[np.ndarray | None] = [None] * count
+    responses: list[Any] = []
+    counters = {"completed": 0, "rejected": 0, "errors": 0}
+
+    start = time.perf_counter()
+
+    async def one_request(index: int) -> None:
+        delay = arrivals[index] - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        scheduled = start + arrivals[index]
+        try:
+            response = await submit(inputs[index])
+        except ServerOverloadedError:
+            counters["rejected"] += 1
+            return
+        except Exception:
+            counters["errors"] += 1
+            return
+        latencies[index] = (time.perf_counter() - scheduled) * 1e3
+        counters["completed"] += 1
+        batch_sizes.append(int(response.batch_size))
+        if response.latency_s is not None:
+            sim_latency.append(float(response.latency_s))
+            sim_cycles.append(int(response.total_cycles))
+        if capture_outputs:
+            outputs[index] = np.asarray(response.output)
+        responses.append(response)
+
+    await asyncio.gather(*(one_request(index) for index in range(count)))
+    duration = time.perf_counter() - start
+
+    measured = np.asarray([value for value in latencies if value == value])
+    return LoadReport(
+        offered_rps=float(rate_rps),
+        requests=count,
+        completed=counters["completed"],
+        rejected=counters["rejected"],
+        errors=counters["errors"],
+        duration_s=duration,
+        latencies_ms=measured,
+        batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
+        sim_latency_us=float(np.mean(sim_latency)) * 1e6 if sim_latency else None,
+        sim_cycles=float(np.mean(sim_cycles)) if sim_cycles else None,
+        outputs=[value for value in outputs] if capture_outputs else None,
+        responses=responses,
+    )

@@ -1,0 +1,184 @@
+"""Node-pipelined whole-model execution for the serving layer.
+
+``Session.run_model`` executes a model's nodes sequentially: node 0 of a
+batch must finish before node 1 starts, and the engine sits idle between
+batches.  Under a request stream that serialization is wasted capacity —
+while batch *k* runs node N, nothing stops node N+1 from running batch
+*k−1*, exactly like instruction pipelining.
+
+:class:`ModelPipeline` builds that overlap out of the pieces the engine
+seam already provides: one worker thread per model node, each with its
+**own** :class:`~repro.engine.session.Session` (engines may keep per-run
+state, and per-stage sessions also give each stage a private prepared-layer
+cache with no cross-stage lock traffic).  A job enters at node 0 and flows
+stage to stage through single-consumer queues; with S stages and a full
+pipeline, S batches are in flight at once.
+
+Every stage dispatches through ``Session.run_node`` — the same call
+``run_model`` makes — so a pipelined result is bit-identical to the
+sequential path: same engine runs, same row-wise propagation, same
+:class:`ModelRunResult`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import EIEConfig
+from repro.engine.session import Session
+from repro.errors import ServeError
+
+__all__ = ["ModelPipeline"]
+
+_STOP = object()
+
+
+@dataclass
+class _Job:
+    """One batch travelling down the pipeline."""
+
+    matrix: np.ndarray
+    batched: bool
+    future: Future
+    node_outputs: dict[str, np.ndarray] = field(default_factory=dict)
+    records: list[Any] = field(default_factory=list)
+    error: BaseException | None = None
+
+
+class ModelPipeline:
+    """Overlap node N of batch k with node N+1 of batch k−1.
+
+    Args:
+        compressed: a :class:`~repro.models.compressed.CompressedModel`
+            (compress once, up front — stages never compress).
+        engine: engine registry name every stage runs on.
+        config: accelerator configuration shared by all stages; its
+            ``num_pes`` must match the compressed model's.
+
+    ``submit`` is thread-safe and returns a ``concurrent.futures.Future``
+    resolving to the same :class:`ModelRunResult` a ``Session.run_model``
+    call with the same inputs would return.  Jobs complete in submission
+    order (single-consumer stage queues preserve FIFO).  ``close`` drains
+    in-flight jobs and joins the stage threads.
+    """
+
+    def __init__(
+        self,
+        compressed: Any,
+        engine: str = "cycle",
+        config: EIEConfig | None = None,
+    ) -> None:
+        config = config or EIEConfig()
+        if compressed.num_pes != config.num_pes:
+            raise ServeError(
+                f"model is compressed for {compressed.num_pes} PEs but the "
+                f"pipeline configuration has {config.num_pes}"
+            )
+        self.compressed = compressed
+        self.engine_name = engine
+        self.config = config
+        self._nodes = list(compressed.model)
+        self._queues: list[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in self._nodes
+        ]
+        self._sessions = [Session(config=config) for _ in self._nodes]
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._stage_loop,
+                args=(index,),
+                name=f"repro-serve-{compressed.model.name}-node{index}",
+                daemon=True,
+            )
+            for index in range(len(self._nodes))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def num_stages(self) -> int:
+        return len(self._nodes)
+
+    def submit(self, activations: np.ndarray, batched: bool = True) -> Future:
+        """Enqueue one ``(batch, input_size)`` matrix; returns a Future."""
+        if self._closed:
+            raise ServeError("pipeline is closed")
+        matrix = np.ascontiguousarray(np.asarray(activations, dtype=np.float64))
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ServeError(
+                f"pipeline input must be a non-empty (batch, n_in) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        future: Future = Future()
+        self._queues[0].put(_Job(matrix=matrix, batched=batched, future=future))
+        return future
+
+    def _stage_loop(self, index: int) -> None:
+        node = self._nodes[index]
+        layer = self.compressed.layers[node.name]
+        session = self._sessions[index]
+        ir = self.compressed.model
+        last = index == len(self._nodes) - 1
+        while True:
+            job = self._queues[index].get()
+            if job is _STOP:
+                if not last:
+                    self._queues[index + 1].put(_STOP)
+                return
+            if job.error is None:
+                try:
+                    inputs = ir.node_input(node, job.matrix, job.node_outputs)
+                    record, outputs = session.run_node(
+                        self.engine_name, node, layer, inputs, self.config
+                    )
+                    job.node_outputs[node.name] = outputs
+                    job.records.append(record)
+                except BaseException as exc:  # propagate to the caller's future
+                    job.error = exc
+            if last:
+                self._finish(job)
+            else:
+                self._queues[index + 1].put(job)
+
+    def _finish(self, job: _Job) -> None:
+        if job.error is not None:
+            job.future.set_exception(job.error)
+            return
+        from repro.models.compressed import ModelRunResult
+
+        ir = self.compressed.model
+        job.future.set_result(
+            ModelRunResult(
+                model_name=ir.name,
+                engine=self.engine_name,
+                num_pes=self.config.num_pes,
+                batch_size=job.matrix.shape[0],
+                batched=job.batched,
+                nodes=tuple(job.records),
+                node_outputs=job.node_outputs,
+                outputs=job.node_outputs[ir.nodes[-1].name],
+            )
+        )
+
+    def close(self) -> None:
+        """Drain in-flight jobs, then stop and join every stage thread."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queues[0].put(_STOP)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "ModelPipeline":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

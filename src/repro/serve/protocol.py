@@ -1,0 +1,275 @@
+"""Newline-delimited-JSON wire protocol for the serving daemon.
+
+One JSON object per line, both directions.  Requests carry a client-chosen
+``id`` echoed back in the response, so a connection can keep many inference
+requests in flight at once — which is exactly what gives the server's
+dynamic batcher something to coalesce.
+
+Operations::
+
+    {"id": 7, "op": "infer", "model": "neuraltalk_lstm", "input": [...]}
+    {"id": 8, "op": "models"}
+    {"id": 9, "op": "stats"}
+    {"id": 0, "op": "ping"}
+
+Successful ``infer`` responses mirror :class:`~repro.serve.server
+.ServeResponse`; failures are ``{"ok": false, "error": <kind>, ...}`` with
+kind ``"overloaded"`` (plus ``retry_after_s``), ``"closed"`` or
+``"bad_request"``, which :class:`AsyncServeClient` maps back onto the
+typed :mod:`repro.errors` exceptions.  Floats cross the wire as JSON
+numbers, which Python serializes via ``repr`` (shortest round-trip form),
+so output vectors and simulated latencies survive the protocol **bit for
+bit** — the CI drain test depends on this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.server import Server, ServeResponse
+
+__all__ = ["start_daemon", "AsyncServeClient"]
+
+#: Generous per-line bound: a paper-scale fc layer output is ~4k floats.
+_LINE_LIMIT = 2**24
+
+
+def _error_payload(request_id: Any, exc: BaseException) -> dict[str, Any]:
+    if isinstance(exc, ServerOverloadedError):
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": "overloaded",
+            "message": str(exc),
+            "retry_after_s": exc.retry_after_s,
+        }
+    if isinstance(exc, ServerClosedError):
+        return {"id": request_id, "ok": False, "error": "closed", "message": str(exc)}
+    return {"id": request_id, "ok": False, "error": "bad_request", "message": str(exc)}
+
+
+async def _handle_message(server: Server, message: dict[str, Any]) -> dict[str, Any]:
+    request_id = message.get("id")
+    op = message.get("op")
+    try:
+        if op == "infer":
+            model = message.get("model")
+            vector = message.get("input")
+            if not isinstance(model, str) or vector is None:
+                raise ServeError("infer needs a 'model' name and an 'input' vector")
+            response = await server.submit(model, np.asarray(vector, dtype=np.float64))
+            return {
+                "id": request_id,
+                "ok": True,
+                "model": response.model,
+                "outputs": response.output.tolist(),
+                "batch_size": response.batch_size,
+                "total_cycles": response.total_cycles,
+                "latency_s": response.latency_s,
+                "energy_j": response.energy_j,
+                "queue_wait_s": response.queue_wait_s,
+                "service_s": response.service_s,
+            }
+        if op == "models":
+            return {
+                "id": request_id,
+                "ok": True,
+                "models": {name: server.describe(name) for name in server.models},
+            }
+        if op == "stats":
+            return {"id": request_id, "ok": True, "stats": server.stats()}
+        if op == "ping":
+            return {"id": request_id, "ok": True, "pong": True}
+        raise ServeError(f"unknown operation {op!r}")
+    except BaseException as exc:
+        return _error_payload(request_id, exc)
+
+
+async def _handle_connection(
+    server: Server, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    write_lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+
+    async def process(message: dict[str, Any]) -> None:
+        payload = await _handle_message(server, message)
+        async with write_lock:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.LimitOverrunError):
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as exc:
+                async with write_lock:
+                    writer.write(
+                        json.dumps(_error_payload(None, ServeError(f"bad JSON: {exc}")))
+                        .encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                continue
+            # Each message runs concurrently: many in-flight infers from one
+            # connection are what the dynamic batcher coalesces.
+            task = asyncio.create_task(process(message))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_daemon(
+    server: Server, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.AbstractServer:
+    """Expose a started :class:`Server` over TCP; returns the listener.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    ``listener.sockets[0].getsockname()``.  Close the listener first, then
+    ``await server.close()`` to drain — queued requests are still answered
+    on their open connections.
+    """
+
+    async def handler(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        await _handle_connection(server, reader, writer)
+
+    return await asyncio.start_server(handler, host=host, port=port, limit=_LINE_LIMIT)
+
+
+class AsyncServeClient:
+    """Async client for the daemon: many concurrent ``infer`` calls, one socket.
+
+    Each call gets a fresh ``id``; a background reader task resolves the
+    matching future when the response line arrives, so ``asyncio.gather``
+    over many :meth:`infer` coroutines produces exactly the concurrent
+    open-loop traffic the load generator needs.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=_LINE_LIMIT)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = json.loads(line)
+                future = self._pending.pop(payload.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except (ConnectionResetError, asyncio.CancelledError, json.JSONDecodeError):
+            pass
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServerClosedError("connection closed before the response")
+                    )
+            self._pending.clear()
+
+    async def _call(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._reader_task.done():
+            raise ServerClosedError("client connection is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        message = {"id": request_id, **message}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(json.dumps(message).encode() + b"\n")
+            await self._writer.drain()
+        payload = await future
+        if payload.get("ok"):
+            return payload
+        kind = payload.get("error")
+        text = payload.get("message", "server error")
+        if kind == "overloaded":
+            raise ServerOverloadedError(
+                text, retry_after_s=float(payload.get("retry_after_s", 0.0))
+            )
+        if kind == "closed":
+            raise ServerClosedError(text)
+        raise ServeError(text)
+
+    async def infer(self, model: str, vector: np.ndarray) -> ServeResponse:
+        """One inference request; returns a :class:`ServeResponse`."""
+        vector = np.asarray(vector, dtype=np.float64)
+        payload = await self._call(
+            {"op": "infer", "model": model, "input": vector.tolist()}
+        )
+        return ServeResponse(
+            model=payload["model"],
+            output=np.asarray(payload["outputs"], dtype=np.float64),
+            batch_size=int(payload["batch_size"]),
+            total_cycles=payload["total_cycles"],
+            latency_s=payload["latency_s"],
+            energy_j=payload["energy_j"],
+            queue_wait_s=float(payload["queue_wait_s"]),
+            service_s=float(payload["service_s"]),
+        )
+
+    async def models(self) -> dict[str, Any]:
+        """Descriptions of every served model (enough to rebuild offline)."""
+        return (await self._call({"op": "models"}))["models"]
+
+    async def stats(self) -> dict[str, Any]:
+        """The server's live counter snapshot."""
+        return (await self._call({"op": "stats"}))["stats"]
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        return bool((await self._call({"op": "ping"})).get("pong"))
+
+    async def close(self) -> None:
+        """Close the socket and stop the reader task."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()

@@ -362,3 +362,50 @@ class TestCacheAndExecutorCli:
         ]) == 0
         capsys.readouterr()
         assert not (store_dir / "layers").exists()
+
+
+class TestServeCli:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--models", "neuraltalk_lstm", "alexnet_fc",
+            "--engine", "cycle", "--max-batch", "32", "--max-wait-us", "500",
+            "--queue-depth", "64", "--pes", "8", "--port", "9999",
+        ])
+        assert args.command == "serve"
+        assert args.serve_command is None  # daemon mode
+        assert args.models == ["neuraltalk_lstm", "alexnet_fc"]
+        assert (args.max_batch, args.max_wait_us, args.queue_depth) == (32, 500.0, 64)
+        assert args.port == 9999
+
+    def test_serve_bench_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "bench", "--connect", "127.0.0.1:8123",
+            "--rate", "100", "200", "--requests", "50", "--verify",
+        ])
+        assert args.serve_command == "bench"
+        assert args.connect == "127.0.0.1:8123"
+        assert args.rate == [100.0, 200.0]
+        assert args.requests == 50
+        assert args.verify is True
+
+    def test_serve_bench_rejects_bad_connect(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "bench", "--connect", "nonsense", "--requests", "5"])
+
+    def test_serve_bench_in_process_with_verify(self, capsys):
+        assert main([
+            "serve", "bench", "--models", "neuraltalk_lstm",
+            "--scale", "64", "--pes", "8", "--rate", "500",
+            "--requests", "20", "--no-store", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Open-loop serving benchmark" in out
+        assert "bit-identical to the offline run_model path" in out
+
+    def test_serve_bench_unknown_model_exits(self, capsys):
+        with pytest.raises(SystemExit, match="does not serve"):
+            main([
+                "serve", "bench", "--models", "neuraltalk_lstm",
+                "--scale", "64", "--pes", "8", "--model", "vgg_fc",
+                "--requests", "5", "--no-store",
+            ])

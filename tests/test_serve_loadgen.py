@@ -1,0 +1,152 @@
+"""Tests for the open-loop load generator and the serve_latency experiment."""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.config import EIEConfig
+from repro.errors import ConfigurationError, ServerOverloadedError
+from repro.experiments import ExperimentRegistry, run_experiment
+from repro.models import build_model, synthetic_model_inputs
+from repro.serve import BatchPolicy, Server, run_open_loop
+
+
+@dataclass
+class _FakeResponse:
+    batch_size: int
+    output: np.ndarray
+    latency_s: float | None
+    total_cycles: int | None
+
+
+class TestLoadReportMath:
+    def _report(self, submit, count=20, rate=1000.0, **kwargs):
+        inputs = np.ones((count, 4))
+        return asyncio.run(
+            run_open_loop(submit, inputs, rate_rps=rate, seed=1, **kwargs)
+        )
+
+    def test_counts_and_percentiles_from_fake_service(self):
+        async def submit(vector):
+            return _FakeResponse(
+                batch_size=2, output=vector * 2.0, latency_s=1e-6, total_cycles=100
+            )
+
+        report = self._report(submit, capture_outputs=True)
+        assert report.requests == 20
+        assert report.completed == 20
+        assert report.rejected == 0 and report.errors == 0
+        assert report.mean_batch == 2.0
+        assert report.sim_cycles == 100.0
+        assert report.sim_latency_us == pytest.approx(1.0)
+        assert report.p50_ms <= report.p99_ms <= report.max_ms
+        assert report.throughput_rps > 0
+        assert all(np.array_equal(out, np.ones(4) * 2.0) for out in report.outputs)
+        record = report.record()
+        assert record["completed"] == 20 and record["p99_ms"] >= record["p50_ms"]
+
+    def test_overload_counts_as_rejection_not_error(self):
+        calls = {"n": 0}
+
+        async def submit(vector):
+            calls["n"] += 1
+            if calls["n"] % 2:
+                raise ServerOverloadedError("full", retry_after_s=0.01)
+            return _FakeResponse(1, vector, None, None)
+
+        report = self._report(submit)
+        assert report.rejected == 10
+        assert report.completed == 10
+        assert report.errors == 0
+        assert report.sim_latency_us is None and report.sim_cycles is None
+
+    def test_other_exceptions_count_as_errors(self):
+        async def submit(vector):
+            raise RuntimeError("boom")
+
+        report = self._report(submit)
+        assert report.errors == 20 and report.completed == 0
+        assert np.isnan(report.p50_ms)
+
+    def test_input_validation(self):
+        async def submit(vector):  # pragma: no cover - never reached
+            return None
+
+        with pytest.raises(ConfigurationError, match="matrix"):
+            asyncio.run(run_open_loop(submit, np.ones(4), rate_rps=10.0))
+        with pytest.raises(ConfigurationError, match="rate"):
+            asyncio.run(run_open_loop(submit, np.ones((2, 4)), rate_rps=0.0))
+
+    def test_arrivals_deterministic_per_seed(self):
+        arrival_times: list[list[float]] = []
+
+        for _ in range(2):
+            times: list[float] = []
+
+            async def submit(vector):
+                loop = asyncio.get_running_loop()
+                times.append(loop.time())
+                return _FakeResponse(1, vector, None, None)
+
+            self._report(submit, count=10, rate=5000.0)
+            first = times[0]
+            arrival_times.append([t - first for t in times])
+        assert np.allclose(arrival_times[0], arrival_times[1], atol=5e-3)
+
+
+class TestAgainstRealServer:
+    def test_open_loop_against_in_process_server(self):
+        model = build_model("neuraltalk_lstm", scale=64)
+        inputs = synthetic_model_inputs(model, batch=30, seed=2)
+        config = EIEConfig(num_pes=8)
+
+        async def drive():
+            async with Server(
+                [model],
+                config=config,
+                policy=BatchPolicy(max_batch=8, max_wait_us=1000.0),
+            ) as server:
+                return await run_open_loop(
+                    lambda vector: server.submit(model.name, vector),
+                    inputs,
+                    rate_rps=600.0,
+                    seed=4,
+                    capture_outputs=True,
+                )
+
+        report = asyncio.run(drive())
+        assert report.completed == 30
+        assert report.mean_batch >= 1.0
+        assert report.sim_cycles is not None and report.sim_cycles > 0
+        assert len(report.outputs) == 30
+        assert all(output is not None for output in report.outputs)
+
+
+class TestServeLatencyExperiment:
+    def test_registered_with_offered_load_grid(self):
+        experiment = ExperimentRegistry.get("serve_latency")
+        assert "offered_rps" in experiment.spec.grid
+        assert experiment.spec.params["max_batch"] >= 1
+        assert not experiment.uses_workloads
+
+    def test_smoke_run_and_render(self):
+        spec = ExperimentRegistry.get("serve_latency").spec.with_overrides(
+            [
+                ("params.requests", 20),
+                ("params.scale", 64),
+                ("grid.offered_rps", [400]),
+                ("config.num_pes", 8),
+            ]
+        )
+        result = run_experiment(spec)
+        assert len(result.records) == 1
+        record = result.records[0]
+        assert record["offered_rps"] == 400
+        assert record["completed"] + record["rejected"] + record["errors"] == 20
+        assert record["errors"] == 0
+        table = result.to_table()
+        assert "offered load" in table and "400" in table

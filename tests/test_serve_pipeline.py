@@ -1,0 +1,104 @@
+"""Tests for the node-pipelined whole-model path.
+
+The pipeline must be a pure scheduling change: same per-node engine runs,
+same row-wise propagation, same :class:`ModelRunResult` — bit for bit — as
+``Session.run_model``, with submission order preserved and exceptions
+delivered on the right future.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EIEConfig
+from repro.engine.session import Session
+from repro.errors import ServeError
+from repro.models import build_model, synthetic_model_inputs
+from repro.serve import ModelPipeline
+
+CONFIG = EIEConfig(num_pes=8)
+
+
+@pytest.fixture(scope="module")
+def compressed_and_session():
+    model = build_model("neuraltalk_lstm", scale=64)
+    session = Session(config=CONFIG)
+    return session.compress_model(model, CONFIG.num_pes), session
+
+
+class TestParity:
+    def test_result_bit_identical_to_run_model(self, compressed_and_session):
+        compressed, session = compressed_and_session
+        inputs = synthetic_model_inputs(compressed.model, batch=5, seed=3)
+        reference = session.run_model("cycle", compressed, inputs, CONFIG)
+        with ModelPipeline(compressed, engine="cycle", config=CONFIG) as pipeline:
+            run = pipeline.submit(inputs).result(timeout=30)
+        assert np.array_equal(run.outputs, reference.outputs)
+        assert run.total_cycles == reference.total_cycles
+        assert run.latency_s == reference.latency_s
+        assert [node.name for node in run.nodes] == [
+            node.name for node in reference.nodes
+        ]
+        for ours, theirs in zip(run.nodes, reference.nodes):
+            assert ours.input_density == theirs.input_density
+            assert [s.total_cycles for s in ours.result.cycles] == [
+                s.total_cycles for s in theirs.result.cycles
+            ]
+
+    def test_many_in_flight_batches_complete_in_order(self, compressed_and_session):
+        compressed, session = compressed_and_session
+        batches = [
+            synthetic_model_inputs(compressed.model, batch=2, seed=seed)
+            for seed in range(6)
+        ]
+        references = [
+            session.run_model("cycle", compressed, batch, CONFIG) for batch in batches
+        ]
+        with ModelPipeline(compressed, engine="cycle", config=CONFIG) as pipeline:
+            futures = [pipeline.submit(batch) for batch in batches]
+            runs = [future.result(timeout=30) for future in futures]
+        for run, reference in zip(runs, references):
+            assert np.array_equal(run.outputs, reference.outputs)
+            assert run.total_cycles == reference.total_cycles
+
+    def test_stage_count_matches_model(self, compressed_and_session):
+        compressed, _ = compressed_and_session
+        with ModelPipeline(compressed, engine="cycle", config=CONFIG) as pipeline:
+            assert pipeline.num_stages == compressed.model.num_nodes
+
+
+class TestErrors:
+    def test_bad_input_width_fails_only_its_future(self, compressed_and_session):
+        compressed, session = compressed_and_session
+        good = synthetic_model_inputs(compressed.model, batch=2, seed=1)
+        bad = np.ones((2, compressed.model.input_size + 3))
+        with ModelPipeline(compressed, engine="cycle", config=CONFIG) as pipeline:
+            bad_future = pipeline.submit(bad)
+            good_future = pipeline.submit(good)
+            with pytest.raises(Exception):
+                bad_future.result(timeout=30)
+            run = good_future.result(timeout=30)
+        reference = session.run_model("cycle", compressed, good, CONFIG)
+        assert np.array_equal(run.outputs, reference.outputs)
+
+    def test_rejects_vector_and_empty_input(self, compressed_and_session):
+        compressed, _ = compressed_and_session
+        with ModelPipeline(compressed, engine="cycle", config=CONFIG) as pipeline:
+            with pytest.raises(ServeError, match="matrix"):
+                pipeline.submit(np.ones(compressed.model.input_size))
+            with pytest.raises(ServeError, match="matrix"):
+                pipeline.submit(np.empty((0, compressed.model.input_size)))
+
+    def test_pe_mismatch_rejected(self, compressed_and_session):
+        compressed, _ = compressed_and_session
+        with pytest.raises(ServeError, match="PEs"):
+            ModelPipeline(compressed, engine="cycle", config=EIEConfig(num_pes=16))
+
+    def test_submit_after_close_rejected(self, compressed_and_session):
+        compressed, _ = compressed_and_session
+        pipeline = ModelPipeline(compressed, engine="cycle", config=CONFIG)
+        pipeline.close()
+        pipeline.close()  # idempotent
+        with pytest.raises(ServeError, match="closed"):
+            pipeline.submit(np.ones((1, compressed.model.input_size)))

@@ -1,0 +1,162 @@
+"""Tests for the JSON-lines TCP protocol: daemon + client round trips.
+
+The wire format must preserve every float bit (JSON numbers serialize via
+``repr``, the shortest round-trip form), so a remote client sees exactly
+the offline ``run_model`` bits — the CI daemon job leans on this.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import EIEConfig
+from repro.engine.session import Session
+from repro.errors import ServeError, ServerOverloadedError
+from repro.models import build_model, synthetic_model_inputs
+from repro.serve import AsyncServeClient, BatchPolicy, Server, start_daemon
+
+CONFIG = EIEConfig(num_pes=8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("neuraltalk_lstm", scale=64)
+
+
+def _with_daemon(model, coro_factory, **server_kwargs):
+    """Run ``coro_factory(client, server)`` against an ephemeral-port daemon."""
+
+    async def drive():
+        server = await Server([model], config=CONFIG, **server_kwargs).start()
+        listener = await start_daemon(server)
+        port = listener.sockets[0].getsockname()[1]
+        client = await AsyncServeClient.connect("127.0.0.1", port)
+        try:
+            return await coro_factory(client, server)
+        finally:
+            await client.close()
+            listener.close()
+            await listener.wait_closed()
+            await server.close()
+
+    return asyncio.run(drive())
+
+
+class TestRoundTrip:
+    def test_infer_bit_identical_through_the_wire(self, model):
+        inputs = synthetic_model_inputs(model, batch=8, seed=13)
+        session = Session(config=CONFIG)
+        offline = [
+            session.run_model("cycle", model, inputs[i], CONFIG) for i in range(8)
+        ]
+
+        async def scenario(client, server):
+            return await asyncio.gather(
+                *(client.infer(model.name, vector) for vector in inputs)
+            )
+
+        responses = _with_daemon(
+            model, scenario, policy=BatchPolicy(max_batch=4, max_wait_us=20_000)
+        )
+        assert max(response.batch_size for response in responses) > 1
+        for response, reference in zip(responses, offline):
+            assert np.array_equal(response.output, reference.outputs[0])
+            assert response.total_cycles == reference.total_cycles
+            assert response.latency_s == reference.latency_s
+
+    def test_models_stats_and_ping(self, model):
+        async def scenario(client, server):
+            assert await client.ping()
+            described = await client.models()
+            stats = await client.stats()
+            return described, stats
+
+        described, stats = _with_daemon(model, scenario)
+        description = described[model.name]
+        assert description["input_size"] == model.input_size
+        assert description["engine"] == "cycle"
+        assert description["num_pes"] == CONFIG.num_pes
+        assert description["spec"] is None  # served from a raw IR
+        assert stats["models"][model.name]["received"] == 0
+
+    def test_registry_served_model_reports_rebuild_spec(self):
+        from repro.models import ModelSpec
+
+        model = build_model("neuraltalk_lstm", scale=64)
+
+        async def scenario(client, server):
+            return await client.models()
+
+        async def drive():
+            server = await Server(
+                [ModelSpec(model="neuraltalk_lstm", scale=64)], config=CONFIG
+            ).start()
+            listener = await start_daemon(server)
+            port = listener.sockets[0].getsockname()[1]
+            client = await AsyncServeClient.connect("127.0.0.1", port)
+            try:
+                return await client.models()
+            finally:
+                await client.close()
+                listener.close()
+                await listener.wait_closed()
+                await server.close()
+
+        described = asyncio.run(drive())
+        spec = described[model.name]["spec"]
+        assert spec == {
+            "model": "neuraltalk_lstm",
+            "scale": 64,
+            "seed": None,
+            "params": {},
+        }
+
+
+class TestErrors:
+    def test_unknown_model_maps_to_serve_error(self, model):
+        async def scenario(client, server):
+            with pytest.raises(ServeError, match="not served"):
+                await client.infer("nope", np.zeros(4))
+
+        _with_daemon(model, scenario)
+
+    def test_overload_maps_to_typed_rejection(self, model):
+        inputs = synthetic_model_inputs(model, batch=32, seed=3)
+
+        async def scenario(client, server):
+            outcomes = await asyncio.gather(
+                *(client.infer(model.name, vector) for vector in inputs),
+                return_exceptions=True,
+            )
+            return outcomes
+
+        outcomes = _with_daemon(
+            model,
+            scenario,
+            policy=BatchPolicy(max_batch=1, max_wait_us=0.0, queue_depth=1),
+        )
+        rejections = [o for o in outcomes if isinstance(o, ServerOverloadedError)]
+        assert rejections and all(r.retry_after_s > 0 for r in rejections)
+
+    def test_malformed_json_and_unknown_op_answered_not_fatal(self, model):
+        async def scenario(client, server):
+            port_reader, port_writer = client._reader, client._writer
+            # Ride the same socket below the client: a bad line must get an
+            # error response and must not kill the connection.
+            async with client._write_lock:
+                port_writer.write(b"this is not json\n")
+                await port_writer.drain()
+            with pytest.raises(ServeError, match="unknown operation"):
+                await client._call({"op": "frobnicate"})
+            assert await client.ping()
+
+        _with_daemon(model, scenario)
+
+    def test_json_floats_round_trip_exactly(self):
+        values = [0.1, 1 / 3, 1e-300, 123456.789e-12, np.random.default_rng(0).normal()]
+        decoded = json.loads(json.dumps(values))
+        assert all(a == b for a, b in zip(values, decoded))
