@@ -13,7 +13,11 @@ The library implements, in pure Python + numpy:
   regenerates every table and figure of the paper's evaluation;
 * an async serving layer (``repro.serve``): dynamic batching, admission
   control, a TCP daemon + client and an open-loop load generator, with
-  responses bit-identical to the offline ``Session.run_model`` path.
+  responses bit-identical to the offline ``Session.run_model`` path;
+* a reliability layer (``repro.reliability``): seeded SRAM bit-flip
+  injection into packed compressed storage, ECC protection (parity,
+  SECDED(72,64)) with storage/read-energy costs, and a degradation
+  harness behind the ``reliability_pareto`` experiment.
 
 Quick start::
 
@@ -77,11 +81,17 @@ from repro.models import (
     register_model,
 )
 from repro.nn import FeedForwardNetwork, FullyConnectedLayer, LSTMCell
+from repro.reliability import (
+    FaultConfig,
+    inject_layer_faults,
+    inject_model_faults,
+    run_degradation,
+)
 from repro.serve import BatchPolicy, Server, ServeResponse, run_open_loop
 from repro.store import ArtifactStore
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALL_BENCHMARKS",
@@ -106,6 +116,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "ExperimentSpec",
+    "FaultConfig",
     "FeedForwardNetwork",
     "FullyConnectedLayer",
     "FunctionalEIE",
@@ -130,10 +141,13 @@ __all__ = [
     "WorkloadBuilder",
     "__version__",
     "build_model",
+    "inject_layer_faults",
+    "inject_model_faults",
     "prune_to_density",
     "register_engine",
     "register_experiment",
     "register_model",
+    "run_degradation",
     "run_experiment",
     "run_open_loop",
 ]

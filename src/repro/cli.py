@@ -228,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser(
         "clear", parents=[cache_common], help="delete every store entry"
     )
+    cache_sweep_parser = cache_sub.add_parser(
+        "sweep", parents=[cache_common],
+        help="delete abandoned .tmp files left by crashed writers",
+    )
+    cache_sweep_parser.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="sweep temp files older than this (default: 3600)",
+    )
 
     model_parser = subparsers.add_parser(
         "model", help="list, describe, compress or run whole-network models"
@@ -562,13 +570,20 @@ def _run_cache_command(args: argparse.Namespace) -> str:
     if args.cache_command == "clear":
         removed = store.clear()
         return f"removed {removed} artifact store entr{'y' if removed == 1 else 'ies'} from {store.root}"
+    if args.cache_command == "sweep":
+        swept = store.sweep_stale_tmp(max_age_s=args.max_age)
+        return f"swept {swept} stale temp file{'' if swept == 1 else 's'} from {store.root}"
     description = store.describe()
+    lifetime = description["lifetime"]
     rows = [
         ["Store root", description["root"]],
         ["Entries", description["entries"]],
         ["Size (KiB)", f"{description['size_bytes'] / 1024.0:.1f}"],
         ["Payload format", description["format"]],
         ["Enabled (REPRO_STORE)", store_enabled()],
+        ["Stored (lifetime)", lifetime["stored_entries"]],
+        ["Corrupt (lifetime)", lifetime["corrupt_entries"]],
+        ["Swept tmp (lifetime)", lifetime["swept_tmp_files"]],
     ]
     return "Compression artifact store:\n" + format_table(["Field", "Value"], rows)
 

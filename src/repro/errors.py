@@ -40,6 +40,18 @@ class ServerClosedError(ServeError):
     """Raised when a request reaches a server that is draining or closed."""
 
 
+class ServeTimeoutError(ServeError):
+    """Raised when a client request receives no response within its timeout.
+
+    Attributes:
+        timeout_s: the per-request deadline that expired, in seconds.
+    """
+
+    def __init__(self, message: str, timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.timeout_s = float(timeout_s)
+
+
 class ServerOverloadedError(ServeError):
     """Raised when a request is rejected by admission control.
 

@@ -15,7 +15,14 @@ from repro.hardware.energy import (
     OperationEnergy,
     multiply_energy_pj,
 )
-from repro.hardware.sram import SramBank, SramConfig, sram_read_energy_pj
+from repro.hardware.sram import (
+    SramBank,
+    SramConfig,
+    ecc_read_energy_factor,
+    ecc_storage_factor,
+    protected_storage_bits,
+    sram_read_energy_pj,
+)
 from repro.hardware.technology import TechnologyNode, scale_area, scale_frequency, scale_power
 
 __all__ = [
@@ -29,7 +36,10 @@ __all__ = [
     "SramConfig",
     "TechnologyNode",
     "chip_area_mm2",
+    "ecc_read_energy_factor",
+    "ecc_storage_factor",
     "multiply_energy_pj",
+    "protected_storage_bits",
     "num_lnzd_units",
     "scale_area",
     "scale_frequency",

@@ -181,12 +181,17 @@ class EnergyModel:
         precision: arithmetic precision used for multiply/accumulate.
         sram_read_pj_per_32b: energy of one 32-bit-equivalent SRAM read.
         dram_read_pj_per_32b: energy of one 32-bit-equivalent DRAM read.
+        ecc_scheme: ECC protection on the weight SRAMs (``"none"``,
+            ``"parity"`` or ``"secded"``); protected reads fetch check bits
+            alongside the data and pay the corresponding energy factor
+            (:func:`~repro.hardware.sram.ecc_read_energy_factor`).
     """
 
     table: EnergyTable = field(default_factory=lambda: ENERGY_TABLE_45NM)
     precision: str = "int16"
     sram_read_pj_per_32b: float | None = None
     dram_read_pj_per_32b: float | None = None
+    ecc_scheme: str = "none"
 
     def __post_init__(self) -> None:
         require_in("precision", self.precision, MULTIPLY_ENERGY_PJ)
@@ -194,6 +199,9 @@ class EnergyModel:
             self.sram_read_pj_per_32b = self.table.sram32_read_pj
         if self.dram_read_pj_per_32b is None:
             self.dram_read_pj_per_32b = self.table.dram32_read_pj
+        from repro.reliability.ecc import ECC_SCHEMES
+
+        require_in("ecc_scheme", self.ecc_scheme, ECC_SCHEMES)
 
     # -- elementary energies -------------------------------------------------
 
@@ -202,13 +210,23 @@ class EnergyModel:
         return multiply_energy_pj(self.precision) + add_energy_pj(self.precision)
 
     def memory_read_energy_pj(self, bits: float, location: str) -> float:
-        """Energy of fetching ``bits`` bits from ``location`` (sram or dram)."""
+        """Energy of fetching ``bits`` bits from ``location`` (sram or dram).
+
+        SRAM reads pay the configured ECC scheme's read-energy factor (check
+        bits come out of the array with the data); DRAM reads are unaffected.
+        """
         require_in("location", location, ("sram", "dram"))
         require_non_negative("bits", bits)
-        per_32b = (
-            self.sram_read_pj_per_32b if location == "sram" else self.dram_read_pj_per_32b
-        )
-        return per_32b * bits / 32.0
+        if location == "sram":
+            from repro.hardware.sram import ecc_read_energy_factor
+
+            return (
+                self.sram_read_pj_per_32b
+                * ecc_read_energy_factor(self.ecc_scheme)
+                * bits
+                / 32.0
+            )
+        return self.dram_read_pj_per_32b * bits / 32.0
 
     # -- composite estimates -------------------------------------------------
 

@@ -24,6 +24,9 @@ __all__ = [
     "SPMAT_SRAM_KB",
     "PTR_SRAM_KB",
     "ACT_SRAM_KB",
+    "ecc_storage_factor",
+    "ecc_read_energy_factor",
+    "protected_storage_bits",
 ]
 
 #: Default EIE per-PE SRAM capacities (Section VI): 128 KB Spmat, 32 KB Ptr,
@@ -59,6 +62,49 @@ def sram_read_energy_pj(width_bits: int, capacity_kb: float = SPMAT_SRAM_KB) -> 
     width_factor = (width_bits / _REFERENCE_WIDTH_BITS) ** _WIDTH_EXPONENT
     capacity_factor = (capacity_kb / _REFERENCE_CAPACITY_KB) ** _CAPACITY_EXPONENT
     return _REFERENCE_ENERGY_PJ * width_factor * capacity_factor
+
+
+def ecc_storage_factor(scheme: str) -> float:
+    """Stored-bits multiplier of an ECC scheme over raw data bits.
+
+    ``none`` stores raw bits; ``parity`` adds 1 check bit per 64-bit word
+    (~1.6% overhead); ``secded`` adds 8 for the (72,64) Hamming+parity code
+    (12.5% overhead).  This is the area/capacity cost the reliability
+    Pareto charges protected configurations.
+    """
+    from repro.reliability.ecc import ECC_DATA_BITS, ecc_check_bits
+
+    return (ECC_DATA_BITS + ecc_check_bits(scheme)) / ECC_DATA_BITS
+
+
+def ecc_read_energy_factor(scheme: str) -> float:
+    """Per-read energy multiplier of an ECC scheme.
+
+    A protected word read fetches ``64 + check`` bits instead of 64, so the
+    read energy scales with the same sub-linear width exponent the Cacti
+    model uses for interface width (decoder/wordline energy is shared):
+    ``((64 + check) / 64) ** 0.6`` — ~1.0093 for parity, ~1.073 for SECDED.
+    The syndrome XOR tree itself is noise next to the array access.
+    """
+    return ecc_storage_factor(scheme) ** _WIDTH_EXPONENT
+
+
+def protected_storage_bits(data_bits: int, scheme: str) -> int:
+    """Bits held in SRAM to store ``data_bits`` under ``scheme``.
+
+    Check bits are per 64-bit word, so protection is word-granular: a
+    partial last word still pays full check bits.  ``none`` stores the raw
+    bits unchanged.
+    """
+    from repro.reliability.ecc import ECC_DATA_BITS, ecc_check_bits
+
+    if data_bits < 0:
+        raise ConfigurationError(f"data_bits must be >= 0, got {data_bits}")
+    check = ecc_check_bits(scheme)
+    if check == 0:
+        return int(data_bits)
+    words = -(-int(data_bits) // ECC_DATA_BITS)
+    return words * (ECC_DATA_BITS + check)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,56 @@
+"""repro.reliability: SRAM fault injection, ECC and graceful degradation.
+
+EIE's claim rests on weights living in on-chip SRAM; this subsystem
+stresses that storage.  :mod:`~repro.reliability.ecc` models the protection
+schemes (none / parity-detect / SECDED(72,64) correct-1-detect-2) over
+64-bit SRAM words; :mod:`~repro.reliability.faults` flips bits in the
+packed image of a :class:`~repro.compression.pipeline.CompressedLayer`
+(spmat / pointer / codebook regions) at a configured bit-error rate,
+deterministically from a seed, and reinterprets the faulted image as a
+valid layer; :mod:`~repro.reliability.harness` runs faulted models through
+the unmodified ``Session.run_model`` path and scores output divergence and
+layer-wise error propagation against the golden run.  The
+``reliability_pareto`` experiment (:mod:`repro.experiments`) sweeps
+BER x ECC scheme x model and prices each scheme's storage and read-energy
+overheads against the accuracy it buys.
+"""
+
+from repro.reliability.ecc import (
+    ECC_CHECK_BITS,
+    ECC_DATA_BITS,
+    ECC_SCHEMES,
+    SecdedResult,
+    ecc_check_bits,
+    secded_decode,
+    secded_encode,
+)
+from repro.reliability.faults import (
+    FaultConfig,
+    LayerFaultInjection,
+    ModelFaultInjection,
+    inject_layer_faults,
+    inject_model_faults,
+)
+from repro.reliability.harness import (
+    DegradationResult,
+    compare_model_runs,
+    run_degradation,
+)
+
+__all__ = [
+    "ECC_CHECK_BITS",
+    "ECC_DATA_BITS",
+    "ECC_SCHEMES",
+    "SecdedResult",
+    "ecc_check_bits",
+    "secded_decode",
+    "secded_encode",
+    "FaultConfig",
+    "LayerFaultInjection",
+    "ModelFaultInjection",
+    "inject_layer_faults",
+    "inject_model_faults",
+    "DegradationResult",
+    "compare_model_runs",
+    "run_degradation",
+]

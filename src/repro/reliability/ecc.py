@@ -1,0 +1,162 @@
+"""SECDED(72,64) and parity ECC codecs over 64-bit SRAM words.
+
+EIE keeps every compressed weight bit in on-chip SRAM, so the stored image
+is exposed to soft errors for the whole lifetime of the deployment.  This
+module models the three protection levels the reliability study sweeps:
+
+* ``none`` — raw 64-bit words, every flip lands in the data;
+* ``parity`` — one parity bit per 64-bit word: any odd number of flips is
+  *detected* (the word can be reloaded from the off-chip golden copy), an
+  even number of flips silently corrupts the data;
+* ``secded`` — the classic Hamming(71,64) + overall-parity SECDED(72,64)
+  code: one flip per word is *corrected* in place, two flips are *detected*
+  (reload), three or more may alias into a miscorrection.
+
+The SECDED codeword layout follows the textbook construction: positions
+``1..71`` hold the Hamming code (check bits at the power-of-two positions
+``1, 2, 4, 8, 16, 32, 64``, data bits everywhere else), and position ``0``
+is the overall parity over the full word.  The syndrome of a received word
+is the XOR of the positions of its set bits; a single flipped bit makes the
+syndrome point exactly at itself.
+
+Only faulted words are ever passed through the codec — a clean codeword
+decodes to itself by construction — so the per-word Python-int arithmetic
+here never touches a hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ECC_SCHEMES",
+    "ECC_DATA_BITS",
+    "ECC_CHECK_BITS",
+    "SECDED_DATA_POSITIONS",
+    "SECDED_CHECK_POSITIONS",
+    "SecdedResult",
+    "secded_encode",
+    "secded_decode",
+    "ecc_check_bits",
+]
+
+#: Protection schemes the fault model and the Pareto experiment sweep.
+ECC_SCHEMES = ("none", "parity", "secded")
+
+#: Data payload of one protected SRAM word.
+ECC_DATA_BITS = 64
+
+#: Check bits stored per word for each scheme (secded: 7 Hamming + 1 parity).
+ECC_CHECK_BITS = {"none": 0, "parity": 1, "secded": 8}
+
+#: Codeword positions of the 64 data bits: 1..71 minus the powers of two.
+SECDED_DATA_POSITIONS = tuple(
+    position for position in range(1, 72) if position & (position - 1)
+)
+
+#: Codeword positions of the 8 check bits: overall parity at 0, Hamming
+#: check bits at the power-of-two positions.
+SECDED_CHECK_POSITIONS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+
+def ecc_check_bits(scheme: str) -> int:
+    """Check bits per 64-bit word for ``scheme`` (validating lookup)."""
+    try:
+        return ECC_CHECK_BITS[scheme]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown ECC scheme {scheme!r}; expected one of {', '.join(ECC_SCHEMES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SecdedResult:
+    """Outcome of decoding one (possibly corrupted) SECDED codeword.
+
+    Attributes:
+        data: the decoded 64-bit data value (after any correction).
+        status: ``"clean"`` (no error seen), ``"corrected"`` (single-bit
+            error fixed, ``data`` is the original), or ``"detected"``
+            (double-bit error flagged uncorrectable — ``data`` is the raw
+            extraction and must not be trusted; callers reload the word).
+    """
+
+    data: int
+    status: str
+
+
+def _syndrome(codeword: int) -> int:
+    """XOR of the positions of every set bit in positions ``1..71``."""
+    syndrome = 0
+    bits = codeword >> 1
+    position = 1
+    while bits:
+        if bits & 1:
+            syndrome ^= position
+        bits >>= 1
+        position += 1
+    return syndrome
+
+
+def _extract_data(codeword: int) -> int:
+    """The 64 data bits of a codeword, in layout order."""
+    data = 0
+    for bit, position in enumerate(SECDED_DATA_POSITIONS):
+        data |= ((codeword >> position) & 1) << bit
+    return data
+
+
+def secded_encode(data: int) -> int:
+    """Encode a 64-bit ``data`` value into a 72-bit SECDED codeword.
+
+    The returned codeword has syndrome 0 and even overall parity, so
+    :func:`secded_decode` round-trips it with status ``"clean"``.
+    """
+    if not 0 <= data < 1 << ECC_DATA_BITS:
+        raise ConfigurationError(f"data must be a 64-bit value, got {data!r}")
+    codeword = 0
+    for bit, position in enumerate(SECDED_DATA_POSITIONS):
+        codeword |= ((data >> bit) & 1) << position
+    # Hamming check bits: zero out the syndrome contribution of the data.
+    syndrome = _syndrome(codeword)
+    for k in range(7):
+        if (syndrome >> k) & 1:
+            codeword |= 1 << (1 << k)
+    # Overall parity (position 0): make the total number of set bits even.
+    if bin(codeword).count("1") & 1:
+        codeword |= 1
+    return codeword
+
+
+def secded_decode(codeword: int) -> SecdedResult:
+    """Decode a 72-bit codeword, correcting one flip and detecting two.
+
+    The decision table is the standard SECDED one:
+
+    * syndrome 0, parity even — clean;
+    * syndrome 0, parity odd — the overall parity bit itself flipped
+      (data intact, ``"corrected"``);
+    * syndrome != 0, parity odd — single-bit error at the syndrome
+      position; flipped back (``"corrected"``);
+    * syndrome != 0, parity even — double-bit error
+      (``"detected"``, uncorrectable).
+
+    Three or more flips can alias into any of these rows — that is the
+    silent-corruption window the fault model reports honestly.
+    """
+    if not 0 <= codeword < 1 << 72:
+        raise ConfigurationError(f"codeword must be a 72-bit value, got {codeword!r}")
+    syndrome = _syndrome(codeword)
+    parity_odd = bool(bin(codeword).count("1") & 1)
+    if syndrome == 0:
+        status = "corrected" if parity_odd else "clean"
+        return SecdedResult(data=_extract_data(codeword), status=status)
+    if not parity_odd or syndrome > 71:
+        # Even parity with a non-zero syndrome is the double-flip signature;
+        # a syndrome pointing past position 71 names a bit that does not
+        # exist (only reachable with 3+ flips).  Both are uncorrectable.
+        return SecdedResult(data=_extract_data(codeword), status="detected")
+    codeword ^= 1 << syndrome
+    return SecdedResult(data=_extract_data(codeword), status="corrected")

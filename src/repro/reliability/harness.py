@@ -1,0 +1,137 @@
+"""Graceful-degradation harness: faulted models through the golden path.
+
+The harness never forks the execution machinery: a faulted
+:class:`~repro.models.compressed.CompressedModel` is a *valid* compressed
+model (the injector re-encodes the faulted image canonically), so it runs
+through the completely unmodified
+:meth:`~repro.engine.session.Session.run_model`, and divergence is scored
+against the golden run of the unfaulted model on the same engine, inputs
+and configuration.  Because propagation inside ``run_model`` reduces
+bit-identically on every engine and executor, both runs — and therefore
+every metric here — are byte-reproducible from ``(seed, ber, scheme)``
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.reliability.faults import (
+    FaultConfig,
+    ModelFaultInjection,
+    inject_model_faults,
+)
+
+__all__ = ["DegradationResult", "compare_model_runs", "run_degradation"]
+
+
+def _difference_metrics(golden: np.ndarray, faulted: np.ndarray) -> dict[str, Any]:
+    error = faulted - golden
+    rmse = float(np.sqrt(np.mean(np.square(error))))
+    reference = float(np.linalg.norm(golden))
+    distance = float(np.linalg.norm(error))
+    if reference > 0.0:
+        relative = distance / reference
+    else:
+        relative = 0.0 if distance == 0.0 else float("inf")
+    return {
+        "rmse": rmse,
+        "relative_error": relative,
+        "bit_identical": bool(np.array_equal(golden, faulted)),
+    }
+
+
+def compare_model_runs(golden: Any, faulted: Any) -> dict[str, Any]:
+    """Score a faulted :class:`ModelRunResult` against the golden run.
+
+    Returns output-level divergence (RMSE, relative L2 error, top-1
+    agreement over the batch, bit identity) plus the per-node error
+    propagation profile — how far the corruption has spread by each layer.
+    """
+    per_node = []
+    for name, golden_outputs in golden.node_outputs.items():
+        metrics = _difference_metrics(golden_outputs, faulted.node_outputs[name])
+        per_node.append({"node": name, **metrics})
+    golden_top1 = np.argmax(np.atleast_2d(golden.outputs), axis=1)
+    faulted_top1 = np.argmax(np.atleast_2d(faulted.outputs), axis=1)
+    output_metrics = _difference_metrics(golden.outputs, faulted.outputs)
+    return {
+        "output_rmse": output_metrics["rmse"],
+        "output_relative_error": output_metrics["relative_error"],
+        "top1_agreement": float(np.mean(golden_top1 == faulted_top1)),
+        "bit_identical": all(entry["bit_identical"] for entry in per_node),
+        "per_node": per_node,
+    }
+
+
+@dataclass
+class DegradationResult:
+    """One complete fault-injection evaluation of a model.
+
+    Attributes:
+        fault: the injected fault configuration.
+        injection: per-layer fault statistics (what the SRAM image saw).
+        metrics: divergence of the faulted run from the golden run
+            (:func:`compare_model_runs` output).
+        golden: the unfaulted :class:`ModelRunResult`.
+        faulted: the faulted :class:`ModelRunResult`.
+    """
+
+    fault: FaultConfig
+    injection: ModelFaultInjection
+    metrics: dict[str, Any]
+    golden: Any
+    faulted: Any
+
+
+def run_degradation(
+    session: Any,
+    engine: str,
+    model: Any,
+    inputs: np.ndarray,
+    fault: FaultConfig,
+    config: Any = None,
+    golden_run: Any = None,
+) -> DegradationResult:
+    """Run the golden and the faulted model and score the divergence.
+
+    Args:
+        session: the :class:`~repro.engine.session.Session` to run through.
+        engine: engine registry name (``"functional"`` is the fast choice
+            for accuracy studies; timing engines work identically).
+        model: a :class:`~repro.models.ir.ModelIR` (compressed through the
+            session) or an existing :class:`CompressedModel`.
+        inputs: model input vector or ``(batch, input_size)`` matrix.
+        fault: the fault configuration to inject.
+        config: accelerator configuration (defaults to the session's).
+        golden_run: an existing golden :class:`ModelRunResult` for these
+            inputs, to share across a BER/scheme sweep.
+    """
+    from repro.models.compressed import CompressedModel
+
+    config = config or session.default_config
+    if isinstance(model, CompressedModel):
+        compressed = model
+    else:
+        compressed = session.compress_model(model, config.num_pes)
+    if golden_run is None:
+        golden_run = session.run_model(engine, compressed, inputs, config)
+    injection = inject_model_faults(compressed, fault)
+    if injection.changed:
+        faulted_run = session.run_model(engine, injection.model, inputs, config)
+    else:
+        # Every flip was corrected (or none was sampled): the faulted model
+        # shares the golden layers object-for-object, so the golden run *is*
+        # the faulted run — skip the redundant execution.
+        faulted_run = golden_run
+    metrics = compare_model_runs(golden_run, faulted_run)
+    return DegradationResult(
+        fault=fault,
+        injection=injection,
+        metrics=metrics,
+        golden=golden_run,
+        faulted=faulted_run,
+    )

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import (
     ServeError,
+    ServeTimeoutError,
     ServerClosedError,
     ServerOverloadedError,
 )
@@ -106,6 +107,15 @@ async def _handle_connection(
             writer.write(json.dumps(payload).encode() + b"\n")
             await writer.drain()
 
+    async def reject(reason: str) -> None:
+        # A malformed line is that *line's* problem, never the connection's:
+        # answer it with a typed error and keep reading.
+        async with write_lock:
+            writer.write(
+                json.dumps(_error_payload(None, ServeError(reason))).encode() + b"\n"
+            )
+            await writer.drain()
+
     try:
         while True:
             try:
@@ -120,13 +130,16 @@ async def _handle_connection(
             try:
                 message = json.loads(line)
             except json.JSONDecodeError as exc:
-                async with write_lock:
-                    writer.write(
-                        json.dumps(_error_payload(None, ServeError(f"bad JSON: {exc}")))
-                        .encode()
-                        + b"\n"
-                    )
-                    await writer.drain()
+                await reject(f"bad JSON: {exc}")
+                continue
+            if not isinstance(message, dict):
+                await reject(
+                    f"message must be a JSON object, got {type(message).__name__}"
+                )
+                continue
+            request_id = message.get("id")
+            if request_id is not None and not isinstance(request_id, (str, int, float)):
+                await reject("'id' must be a JSON string, number or null")
                 continue
             # Each message runs concurrently: many in-flight infers from one
             # connection are what the dynamic batcher coalesces.
@@ -167,20 +180,58 @@ class AsyncServeClient:
     matching future when the response line arrives, so ``asyncio.gather``
     over many :meth:`infer` coroutines produces exactly the concurrent
     open-loop traffic the load generator needs.
+
+    Args:
+        timeout_s: per-request deadline; ``None`` waits forever.  A request
+            that misses it raises :class:`~repro.errors.ServeTimeoutError`
+            (its late response, if any, is discarded).
+        retries: how many times :meth:`infer` retries after an
+            ``overloaded`` rejection or a timeout (other errors never
+            retry).  ``0`` keeps the old fail-fast behaviour.
+        backoff_s: initial retry delay; doubles per attempt.  An
+            ``overloaded`` rejection's ``retry_after_s`` hint is honoured
+            when it exceeds the current backoff.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+    ) -> None:
+        if timeout_s is not None and timeout_s <= 0:
+            raise ServeError(f"timeout_s must be positive or None, got {timeout_s}")
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ServeError(f"backoff_s must be >= 0, got {backoff_s}")
         self._reader = reader
         self._writer = writer
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._write_lock = asyncio.Lock()
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
         self._reader_task = asyncio.create_task(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncServeClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+    ) -> "AsyncServeClient":
         reader, writer = await asyncio.open_connection(host, port, limit=_LINE_LIMIT)
-        return cls(reader, writer)
+        return cls(
+            reader, writer, timeout_s=timeout_s, retries=retries, backoff_s=backoff_s
+        )
 
     async def _read_loop(self) -> None:
         try:
@@ -188,11 +239,20 @@ class AsyncServeClient:
                 line = await self._reader.readline()
                 if not line:
                     break
-                payload = json.loads(line)
-                future = self._pending.pop(payload.get("id"), None)
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(payload, dict):
+                    continue
+                try:
+                    future = self._pending.pop(payload.get("id"), None)
+                except TypeError:
+                    # Unhashable id (a hostile or buggy server): not ours.
+                    continue
                 if future is not None and not future.done():
                     future.set_result(payload)
-        except (ConnectionResetError, asyncio.CancelledError, json.JSONDecodeError):
+        except (ConnectionResetError, asyncio.CancelledError):
             pass
         finally:
             for future in self._pending.values():
@@ -202,7 +262,9 @@ class AsyncServeClient:
                     )
             self._pending.clear()
 
-    async def _call(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def _call(
+        self, message: dict[str, Any], timeout_s: float | None = None
+    ) -> dict[str, Any]:
         if self._reader_task.done():
             raise ServerClosedError("client connection is closed")
         self._next_id += 1
@@ -213,7 +275,15 @@ class AsyncServeClient:
         async with self._write_lock:
             self._writer.write(json.dumps(message).encode() + b"\n")
             await self._writer.drain()
-        payload = await future
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        try:
+            payload = await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise ServeTimeoutError(
+                f"no response to request {request_id} within {timeout}s",
+                timeout_s=timeout,
+            ) from None
         if payload.get("ok"):
             return payload
         kind = payload.get("error")
@@ -226,12 +296,41 @@ class AsyncServeClient:
             raise ServerClosedError(text)
         raise ServeError(text)
 
-    async def infer(self, model: str, vector: np.ndarray) -> ServeResponse:
-        """One inference request; returns a :class:`ServeResponse`."""
+    async def infer(
+        self,
+        model: str,
+        vector: np.ndarray,
+        *,
+        timeout_s: float | None = None,
+        retries: int | None = None,
+    ) -> ServeResponse:
+        """One inference request; returns a :class:`ServeResponse`.
+
+        ``timeout_s`` / ``retries`` override the client-wide defaults for
+        this call.  Retries apply only to ``overloaded`` rejections (waiting
+        at least the server's ``retry_after_s`` hint) and to timeouts, with
+        exponential backoff; ``closed`` and ``bad_request`` fail immediately.
+        """
         vector = np.asarray(vector, dtype=np.float64)
-        payload = await self._call(
-            {"op": "infer", "model": model, "input": vector.tolist()}
-        )
+        message = {"op": "infer", "model": model, "input": vector.tolist()}
+        attempts = (self.retries if retries is None else int(retries)) + 1
+        delay = self.backoff_s
+        payload: dict[str, Any] | None = None
+        for attempt in range(attempts):
+            try:
+                payload = await self._call(message, timeout_s=timeout_s)
+                break
+            except ServerOverloadedError as exc:
+                if attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(max(exc.retry_after_s, delay))
+                delay *= 2
+            except ServeTimeoutError:
+                if attempt == attempts - 1:
+                    raise
+                await asyncio.sleep(delay)
+                delay *= 2
+        assert payload is not None
         return ServeResponse(
             model=payload["model"],
             output=np.asarray(payload["outputs"], dtype=np.float64),

@@ -99,6 +99,7 @@ class ArtifactStore:
     def __init__(self, root: Path | str) -> None:
         self.root = Path(root)
         self._stats = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        self._swept = False
 
     # -- keys ------------------------------------------------------------------
 
@@ -148,6 +149,12 @@ class ArtifactStore:
         counted under ``errors`` and reported as ``None``; the caller keeps
         its freshly compressed layer either way.
         """
+        if not self._swept:
+            # One opportunistic pass per handle: the first write is the
+            # natural moment to collect .tmp files orphaned by crashed
+            # writers (a sweep on every store would just churn the directory).
+            self._swept = True
+            self.sweep_stale_tmp()
         key = self.layer_key(fingerprint, num_pes, config)
         path = self._layer_path(key)
         try:
@@ -233,6 +240,7 @@ class ArtifactStore:
             Path(handle.name).unlink(missing_ok=True)
             raise
         self._stats["stores"] += 1
+        self._bump_lifetime(stored_entries=1)
         return path
 
     def load_layer(
@@ -262,6 +270,7 @@ class ArtifactStore:
         except Exception:
             self._stats["errors"] += 1
             self._stats["misses"] += 1
+            self._bump_lifetime(corrupt_entries=1)
             try:
                 path.unlink(missing_ok=True)
             except OSError:
@@ -334,34 +343,99 @@ class ArtifactStore:
     #: Temp files younger than this are presumed in-flight and left alone.
     STALE_TMP_SECONDS = 3600.0
 
-    def clear(self) -> int:
-        """Delete every entry (and stale temp files); returns entries removed.
+    #: Lifetime counter names persisted in ``<root>/counters.json``.
+    LIFETIME_COUNTERS = ("stored_entries", "corrupt_entries", "swept_tmp_files")
 
-        Temp files are only swept when they are clearly abandoned (older than
-        :data:`STALE_TMP_SECONDS`): a fresh ``.tmp`` may belong to a writer
-        mid-publish in another process, and deleting it would make that
-        writer's atomic rename fail.
+    def sweep_stale_tmp(self, max_age_s: float | None = None) -> int:
+        """Delete abandoned ``.tmp`` files; returns how many were removed.
+
+        Temp files are only swept when they are clearly abandoned (older
+        than ``max_age_s``, default :data:`STALE_TMP_SECONDS`): a fresh
+        ``.tmp`` may belong to a writer mid-publish in another process, and
+        deleting it would make that writer's atomic rename fail.  Runs
+        opportunistically on each handle's first :meth:`store_layer` and on
+        demand via ``repro cache sweep``.
         """
+        max_age = self.STALE_TMP_SECONDS if max_age_s is None else float(max_age_s)
         removed = 0
         layers = self.root / "layers"
         if layers.is_dir():
             now = time.time()
             for path in layers.iterdir():
+                if path.suffix != ".tmp":
+                    continue
+                try:
+                    abandoned = now - path.stat().st_mtime > max_age
+                except OSError:
+                    continue
+                if abandoned:
+                    try:
+                        path.unlink(missing_ok=True)
+                    except OSError:
+                        continue
+                    removed += 1
+        if removed:
+            self._bump_lifetime(swept_tmp_files=removed)
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry (and stale temp files); returns entries removed."""
+        removed = 0
+        layers = self.root / "layers"
+        if layers.is_dir():
+            for path in layers.iterdir():
                 if path.suffix == ".npz":
                     path.unlink(missing_ok=True)
                     removed += 1
-                elif path.suffix == ".tmp":
-                    try:
-                        abandoned = now - path.stat().st_mtime > self.STALE_TMP_SECONDS
-                    except OSError:
-                        continue
-                    if abandoned:
-                        path.unlink(missing_ok=True)
+        self.sweep_stale_tmp()
         return removed
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/store/error counters for this process's store handle."""
         return dict(self._stats)
+
+    def _bump_lifetime(self, **deltas: int) -> None:
+        """Best-effort read-modify-write of the persistent counters.
+
+        The counters are diagnostics, not bookkeeping the cache depends on:
+        a concurrent bump may be lost and an unwritable root is ignored, but
+        the file itself is always published atomically so it never reads as
+        half-written JSON.
+        """
+        path = self.root / "counters.json"
+        counters = self.lifetime_counters()
+        for name, delta in deltas.items():
+            counters[name] = counters.get(name, 0) + int(delta)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                dir=self.root, prefix=".counters.", suffix=".json",
+                delete=False, mode="w",
+            )
+            with handle:
+                json.dump(counters, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:
+            pass
+
+    def lifetime_counters(self) -> dict[str, int]:
+        """Machine-lifetime counters persisted across processes.
+
+        ``stored_entries`` counts every publish (first compressions and
+        post-corruption recompressions alike), ``corrupt_entries`` every
+        entry rejected and deleted on load, ``swept_tmp_files`` every
+        orphaned temp file collected.
+        """
+        counters = dict.fromkeys(self.LIFETIME_COUNTERS, 0)
+        try:
+            data = json.loads((self.root / "counters.json").read_text())
+        except (OSError, ValueError):
+            return counters
+        if isinstance(data, dict):
+            for name, value in data.items():
+                if isinstance(value, int):
+                    counters[name] = value
+        return counters
 
     def describe(self) -> dict[str, Any]:
         """A JSON-friendly summary (CLI ``cache info``)."""
@@ -372,4 +446,5 @@ class ArtifactStore:
             "size_bytes": sum(path.stat().st_size for path in entries),
             "format": FORMAT_VERSION,
             **self.stats(),
+            "lifetime": self.lifetime_counters(),
         }

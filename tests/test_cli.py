@@ -342,6 +342,30 @@ class TestCacheAndExecutorCli:
         assert "removed 1 artifact store entry" in capsys.readouterr().out
         assert list((store_dir / "layers").glob("*.npz")) == []
 
+    def test_cache_sweep_and_lifetime_rows(self, capsys, tmp_path, monkeypatch):
+        import os
+        import time
+
+        from repro.store import ArtifactStore
+
+        store_dir = tmp_path / "cli-store"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))
+        orphan = store_dir / "layers" / ".crashed.1.tmp"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_bytes(b"leftovers")
+        old = time.time() - 2 * ArtifactStore.STALE_TMP_SECONDS
+        os.utime(orphan, (old, old))
+
+        assert main(["cache", "sweep"]) == 0
+        assert "swept 1 stale temp file" in capsys.readouterr().out
+        assert not orphan.exists()
+
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "Swept tmp (lifetime)" in out
+        assert "Stored (lifetime)" in out
+        assert "Corrupt (lifetime)" in out
+
     def test_no_store_skips_the_store(self, capsys, tmp_path, monkeypatch):
         store_dir = tmp_path / "cli-store-disabled"
         monkeypatch.setenv("REPRO_STORE_DIR", str(store_dir))

@@ -1,0 +1,78 @@
+"""SECDED(72,64) codec properties: correct-1, detect-2, clean round trips.
+
+The fault injector trusts this codec to decide every protected word's fate,
+so the two hardware guarantees are checked as universal properties: *every*
+single-bit flip (data or check, all 72 positions) decodes back to the
+original word, and *every* distinct double flip is flagged
+detected-uncorrectable rather than silently miscorrected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.reliability.ecc import (
+    ECC_CHECK_BITS,
+    ECC_DATA_BITS,
+    ECC_SCHEMES,
+    SECDED_CHECK_POSITIONS,
+    SECDED_DATA_POSITIONS,
+    ecc_check_bits,
+    secded_decode,
+    secded_encode,
+)
+
+WORDS = st.integers(min_value=0, max_value=2**ECC_DATA_BITS - 1)
+POSITIONS = st.integers(min_value=0, max_value=71)
+
+
+class TestLayout:
+    def test_positions_partition_the_codeword(self):
+        assert ECC_DATA_BITS == 64
+        assert len(SECDED_DATA_POSITIONS) == 64
+        assert len(SECDED_CHECK_POSITIONS) == 8
+        assert sorted(SECDED_DATA_POSITIONS + SECDED_CHECK_POSITIONS) == list(range(72))
+
+    def test_check_bit_table(self):
+        assert ECC_SCHEMES == ("none", "parity", "secded")
+        assert [ecc_check_bits(scheme) for scheme in ECC_SCHEMES] == [0, 1, 8]
+        assert ECC_CHECK_BITS["secded"] == 8
+        with pytest.raises(ConfigurationError, match="hamming"):
+            ecc_check_bits("hamming")
+
+
+class TestCodec:
+    @given(data=WORDS)
+    def test_clean_round_trip(self, data):
+        outcome = secded_decode(secded_encode(data))
+        assert outcome.status == "clean"
+        assert outcome.data == data
+
+    @given(data=WORDS)
+    def test_codeword_has_even_parity(self, data):
+        assert bin(secded_encode(data)).count("1") % 2 == 0
+
+    @given(data=WORDS, position=POSITIONS)
+    def test_every_single_flip_decodes_to_the_original(self, data, position):
+        outcome = secded_decode(secded_encode(data) ^ (1 << position))
+        assert outcome.status == "corrected"
+        assert outcome.data == data
+
+    @given(data=WORDS, first=POSITIONS, second=POSITIONS)
+    def test_every_double_flip_is_detected_uncorrectable(self, data, first, second):
+        assume(first != second)
+        codeword = secded_encode(data) ^ (1 << first) ^ (1 << second)
+        assert secded_decode(codeword).status == "detected"
+
+    def test_exhaustive_single_and_double_flips_on_one_word(self):
+        data = 0x0123_4567_89AB_CDEF
+        codeword = secded_encode(data)
+        for first in range(72):
+            outcome = secded_decode(codeword ^ (1 << first))
+            assert outcome.status == "corrected" and outcome.data == data
+            for second in range(first + 1, 72):
+                double = codeword ^ (1 << first) ^ (1 << second)
+                assert secded_decode(double).status == "detected"

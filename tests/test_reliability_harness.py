@@ -1,0 +1,173 @@
+"""Degradation harness: golden-path execution, divergence scoring, Pareto run."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import EIEConfig
+from repro.engine.session import Session
+from repro.experiments import ExperimentRegistry, run_experiment
+from repro.models import build_model, synthetic_model_inputs
+from repro.reliability import (
+    FaultConfig,
+    compare_model_runs,
+    inject_model_faults,
+    run_degradation,
+)
+
+CONFIG = EIEConfig(num_pes=8)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_model("neuraltalk_lstm", scale=32)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def inputs(model):
+    return synthetic_model_inputs(model, batch=4, seed=1)
+
+
+def _find_degrading_seed(session, compressed, tries=64):
+    """A seed where unprotected faults change data AND secded sees no
+    multi-flip word — deterministic search, same answer every run."""
+    for seed in range(tries):
+        unprotected = inject_model_faults(
+            compressed, FaultConfig(ber=1e-3, scheme="none", seed=seed)
+        )
+        protected = inject_model_faults(
+            compressed, FaultConfig(ber=1e-3, scheme="secded", seed=seed)
+        )
+        if unprotected.changed and protected.counters["multi_flip_words"] == 0:
+            return seed
+    raise AssertionError(f"no suitable seed in range({tries})")
+
+
+class TestDegradation:
+    def test_ber_zero_is_the_golden_run(self, session, model, inputs):
+        result = run_degradation(
+            session, "functional", model, inputs, FaultConfig(ber=0.0), config=CONFIG
+        )
+        assert result.faulted is result.golden
+        assert result.metrics["bit_identical"]
+        assert result.metrics["output_rmse"] == 0.0
+        assert result.metrics["top1_agreement"] == 1.0
+
+    def test_unprotected_faults_degrade_and_secded_recovers(
+        self, session, model, inputs
+    ):
+        compressed = session.compress_model(model, CONFIG.num_pes)
+        seed = _find_degrading_seed(session, compressed)
+        golden = session.run_model("functional", compressed, inputs, CONFIG)
+
+        unprotected = run_degradation(
+            session, "functional", compressed, inputs,
+            FaultConfig(ber=1e-3, scheme="none", seed=seed),
+            config=CONFIG, golden_run=golden,
+        )
+        assert unprotected.injection.changed
+        assert not unprotected.metrics["bit_identical"]
+        assert unprotected.metrics["output_relative_error"] > 0.0
+
+        protected = run_degradation(
+            session, "functional", compressed, inputs,
+            FaultConfig(ber=1e-3, scheme="secded", seed=seed),
+            config=CONFIG, golden_run=golden,
+        )
+        assert protected.faulted is golden
+        assert protected.metrics["bit_identical"]
+        assert protected.injection.counters["corrected_words"] > 0
+
+    def test_shared_golden_run_is_reused(self, session, model, inputs):
+        compressed = session.compress_model(model, CONFIG.num_pes)
+        golden = session.run_model("functional", compressed, inputs, CONFIG)
+        result = run_degradation(
+            session, "functional", compressed, inputs,
+            FaultConfig(ber=0.0), config=CONFIG, golden_run=golden,
+        )
+        assert result.golden is golden
+
+    def test_per_node_error_propagation_profile(self, session, model, inputs):
+        compressed = session.compress_model(model, CONFIG.num_pes)
+        seed = _find_degrading_seed(session, compressed)
+        result = run_degradation(
+            session, "functional", compressed, inputs,
+            FaultConfig(ber=1e-3, scheme="none", seed=seed), config=CONFIG,
+        )
+        per_node = result.metrics["per_node"]
+        assert len(per_node) == len(result.golden.node_outputs)
+        assert any(not entry["bit_identical"] for entry in per_node)
+        for entry in per_node:
+            assert entry["rmse"] >= 0.0
+
+    def test_compare_model_runs_against_itself(self, session, model, inputs):
+        run = session.run_model("functional", model, inputs, CONFIG)
+        metrics = compare_model_runs(run, run)
+        assert metrics["bit_identical"]
+        assert metrics["output_rmse"] == 0.0
+        assert metrics["output_relative_error"] == 0.0
+        assert metrics["top1_agreement"] == 1.0
+
+
+class TestParetoExperiment:
+    GRID = {
+        "model": ["neuraltalk_lstm"],
+        "ber": [0.0, 1e-3],
+        "scheme": ["none", "secded"],
+    }
+    PARAMS = {"scale": 32.0, "seed": None, "batch": 4, "input_seed": 1}
+
+    def _run(self, executor, jobs=1):
+        return run_experiment(
+            "reliability_pareto",
+            grid=self.GRID, params=self.PARAMS, executor=executor, jobs=jobs,
+        )
+
+    def test_registered_with_functional_default(self):
+        experiment = ExperimentRegistry.get("reliability_pareto")
+        assert experiment.spec.engine == "functional"
+        assert not experiment.uses_workloads
+
+    def test_pareto_invariants(self):
+        result = self._run("serial")
+        records = {(r["ber"], r["scheme"]): r for r in result.records}
+        assert len(records) == 4
+
+        for scheme in ("none", "secded"):
+            clean = records[(0.0, scheme)]
+            assert clean["bit_identical"]
+            assert clean["flips"] == 0
+            assert clean["output_rmse"] == 0.0
+
+        degraded = records[(1e-3, "none")]
+        assert degraded["data_flips"] > 0
+        assert not degraded["bit_identical"]
+        assert degraded["output_relative_error"] > 0.0
+        assert degraded["storage_factor"] == 1.0
+        assert degraded["read_energy_factor"] == 1.0
+
+        recovered = records[(1e-3, "secded")]
+        assert recovered["bit_identical"]
+        assert recovered["corrected_words"] > 0
+        assert recovered["storage_factor"] == 1.125
+        assert recovered["read_energy_factor"] == pytest.approx(1.125**0.6)
+        assert recovered["protected_kib"] > degraded["protected_kib"]
+        assert recovered["protected_kib"] == pytest.approx(
+            1.125 * degraded["protected_kib"], rel=1e-3
+        )
+
+    def test_executors_are_byte_identical(self):
+        canon = lambda result: json.dumps(
+            result.to_dict()["records"], sort_keys=True
+        )
+        serial = canon(self._run("serial"))
+        assert canon(self._run("threads", jobs=4)) == serial
+        assert canon(self._run("processes", jobs=2)) == serial

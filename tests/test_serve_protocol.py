@@ -15,7 +15,11 @@ import pytest
 
 from repro.core.config import EIEConfig
 from repro.engine.session import Session
-from repro.errors import ServeError, ServerOverloadedError
+from repro.errors import (
+    ServeError,
+    ServeTimeoutError,
+    ServerOverloadedError,
+)
 from repro.models import build_model, synthetic_model_inputs
 from repro.serve import AsyncServeClient, BatchPolicy, Server, start_daemon
 
@@ -160,3 +164,208 @@ class TestErrors:
         values = [0.1, 1 / 3, 1e-300, 123456.789e-12, np.random.default_rng(0).normal()]
         decoded = json.loads(json.dumps(values))
         assert all(a == b for a, b in zip(values, decoded))
+
+
+class TestProtocolRobustness:
+    def test_garbage_mid_session_answered_per_line_not_fatal(self, model):
+        async def scenario(client, server):
+            host, port = client._writer.get_extra_info("peername")[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                # One healthy request proves the session is live...
+                writer.write(b'{"id": 1, "op": "ping"}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline())["pong"]
+                # ...then every flavour of garbage gets a typed error on its
+                # own line and must not tear the connection down.
+                for line, fragment in (
+                    (b"this is not json\n", "bad JSON"),
+                    (b"42\n", "JSON object, got int"),
+                    (b"[1, 2]\n", "JSON object, got list"),
+                    (b'"just a string"\n', "JSON object, got str"),
+                    (b'{"id": [7], "op": "ping"}\n', "'id' must be"),
+                    (b'{"id": {"k": 1}, "op": "ping"}\n', "'id' must be"),
+                ):
+                    writer.write(line)
+                    await writer.drain()
+                    payload = json.loads(await reader.readline())
+                    assert payload["ok"] is False
+                    assert payload["error"] == "bad_request"
+                    assert payload["id"] is None
+                    assert fragment in payload["message"]
+                # Schema-violating but well-formed: the error echoes the id.
+                writer.write(b'{"id": 5, "op": "infer"}\n')
+                await writer.drain()
+                payload = json.loads(await reader.readline())
+                assert payload["id"] == 5
+                assert payload["error"] == "bad_request"
+                # The *next* request on the same connection still succeeds.
+                writer.write(b'{"id": 9, "op": "ping"}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline()) == {
+                    "id": 9, "ok": True, "pong": True,
+                }
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            # The managed client on its own connection is unaffected.
+            assert await client.ping()
+
+        _with_daemon(model, scenario)
+
+
+def _with_stub_server(respond, scenario, **client_kwargs):
+    """Drive ``scenario(client)`` against a scripted line-by-line server.
+
+    ``respond(message, count)`` returns the raw bytes to write back for the
+    ``count``-th received line (b"" for silence).  Returns every message the
+    stub received, so tests can count retry attempts.
+    """
+
+    async def drive():
+        received: list[dict] = []
+        handlers: set[asyncio.Task] = set()
+
+        async def handler(reader, writer):
+            handlers.add(asyncio.current_task())
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                received.append(message)
+                reply = respond(message, len(received))
+                if reply:
+                    writer.write(reply)
+                    await writer.drain()
+            writer.close()
+
+        listener = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = listener.sockets[0].getsockname()[1]
+        client = await AsyncServeClient.connect("127.0.0.1", port, **client_kwargs)
+        try:
+            await scenario(client)
+        finally:
+            # EOF the stub first so it drains every line already on the wire
+            # (retry counts below depend on `received` being complete).
+            await client.close()
+            if handlers:
+                await asyncio.gather(*handlers, return_exceptions=True)
+            listener.close()
+            await listener.wait_closed()
+        return received
+
+    return asyncio.run(drive())
+
+
+def _ok_infer_reply(request_id):
+    return (
+        json.dumps(
+            {
+                "id": request_id, "ok": True, "model": "m", "outputs": [1.0, 2.0],
+                "batch_size": 1, "total_cycles": 10, "latency_s": 1e-6,
+                "energy_j": 1e-9, "queue_wait_s": 0.0, "service_s": 1e-6,
+            }
+        ).encode()
+        + b"\n"
+    )
+
+
+def _overloaded_reply(request_id, retry_after_s=0.01):
+    return (
+        json.dumps(
+            {
+                "id": request_id, "ok": False, "error": "overloaded",
+                "message": "queue full", "retry_after_s": retry_after_s,
+            }
+        ).encode()
+        + b"\n"
+    )
+
+
+class TestClientTimeoutAndRetry:
+    def test_timeout_raises_typed_error(self):
+        async def scenario(client):
+            with pytest.raises(ServeTimeoutError, match="within"):
+                await client.ping()
+            assert not client._pending  # the abandoned future was reaped
+
+        received = _with_stub_server(
+            lambda message, count: b"", scenario, timeout_s=0.05
+        )
+        assert len(received) == 1  # only infer retries; ping fails fast
+
+    def test_infer_retries_timeouts_then_raises(self):
+        async def scenario(client):
+            with pytest.raises(ServeTimeoutError):
+                await client.infer("m", np.zeros(4))
+
+        received = _with_stub_server(
+            lambda message, count: b"",
+            scenario,
+            timeout_s=0.05, retries=2, backoff_s=0.001,
+        )
+        assert len(received) == 3  # initial attempt + two retries
+
+    def test_infer_retries_after_overload_and_succeeds(self):
+        def respond(message, count):
+            if count == 1:
+                return _overloaded_reply(message["id"])
+            return _ok_infer_reply(message["id"])
+
+        async def scenario(client):
+            response = await client.infer("m", np.zeros(4))
+            assert np.array_equal(response.output, [1.0, 2.0])
+
+        received = _with_stub_server(respond, scenario, retries=1, backoff_s=0.001)
+        assert len(received) == 2
+
+    def test_overload_without_retries_fails_fast(self):
+        def respond(message, count):
+            return _overloaded_reply(message["id"])
+
+        async def scenario(client):
+            with pytest.raises(ServerOverloadedError):
+                await client.infer("m", np.zeros(4))
+
+        received = _with_stub_server(respond, scenario)
+        assert len(received) == 1
+
+    def test_retries_exhausted_raises_overloaded(self):
+        def respond(message, count):
+            return _overloaded_reply(message["id"])
+
+        async def scenario(client):
+            with pytest.raises(ServerOverloadedError):
+                await client.infer("m", np.zeros(4))
+
+        received = _with_stub_server(
+            respond, scenario, retries=2, backoff_s=0.001
+        )
+        assert len(received) == 3
+
+    def test_read_loop_survives_server_garbage(self):
+        def respond(message, count):
+            # Garbage, a non-object line and an alien id precede the answer.
+            return (
+                b"not json\n"
+                + b"[3]\n"
+                + json.dumps({"id": [1, 2], "ok": True}).encode() + b"\n"
+                + _ok_infer_reply(message["id"])
+            )
+
+        async def scenario(client):
+            response = await client.infer("m", np.zeros(4))
+            assert np.array_equal(response.output, [1.0, 2.0])
+
+        _with_stub_server(respond, scenario, timeout_s=5.0)
+
+    def test_invalid_client_parameters_rejected(self):
+        # Validation fires before the reader task spawns, so no event loop
+        # (and no real socket) is needed.
+        with pytest.raises(ServeError, match="timeout_s"):
+            AsyncServeClient(None, None, timeout_s=0.0)
+        with pytest.raises(ServeError, match="retries"):
+            AsyncServeClient(None, None, retries=-1)
+        with pytest.raises(ServeError, match="backoff_s"):
+            AsyncServeClient(None, None, backoff_s=-0.1)

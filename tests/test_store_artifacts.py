@@ -226,3 +226,66 @@ class TestDegradedStores:
         assert store.clear() == 1
         assert fresh.exists()  # in-flight writer keeps its temp file
         assert not stale.exists()
+
+
+class TestLifetimeCounters:
+    def _age(self, path, factor=2):
+        import os
+        import time
+
+        old = time.time() - factor * ArtifactStore.STALE_TMP_SECONDS
+        os.utime(path, (old, old))
+
+    def test_counters_persist_across_store_handles(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, compress(weights, config))
+        (entry,) = store.entries()
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+
+        # A *fresh* handle (new process, say) sees the truncated entry,
+        # deletes it and recompresses — and the damage is on the record.
+        reopened = ArtifactStore(tmp_path)
+        session = Session(config, store=reopened)
+        session.compress(weights, num_pes=8, name="fc")
+        counters = ArtifactStore(tmp_path).lifetime_counters()
+        assert counters["corrupt_entries"] == 1
+        assert counters["stored_entries"] == 2  # original + recompute
+        assert ArtifactStore(tmp_path).describe()["lifetime"] == counters
+
+    def test_counters_default_to_zero(self, tmp_path):
+        counters = ArtifactStore(tmp_path).lifetime_counters()
+        assert counters == {
+            key: 0 for key in ArtifactStore.LIFETIME_COUNTERS
+        }
+
+    def test_sweep_removes_only_abandoned_tmp(self, tmp_path, weights, config):
+        store = ArtifactStore(tmp_path)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, compress(weights, config))
+        fresh = store.root / "layers" / ".inflight.1.tmp"
+        fresh.write_bytes(b"mid-publish")
+        stale = store.root / "layers" / ".abandoned.2.tmp"
+        stale.write_bytes(b"leftovers")
+        self._age(stale)
+
+        assert store.sweep_stale_tmp() == 1
+        assert fresh.exists()
+        assert not stale.exists()
+        assert len(store.entries()) == 1  # real entries are never swept
+        assert store.lifetime_counters()["swept_tmp_files"] == 1
+        # An explicit negative max age force-sweeps even in-flight files.
+        assert store.sweep_stale_tmp(max_age_s=-1.0) == 1
+        assert not fresh.exists()
+
+    def test_first_store_sweeps_opportunistically(self, tmp_path, weights, config):
+        orphan = tmp_path / "layers" / ".crashed.9.tmp"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_bytes(b"from a previous run")
+        self._age(orphan)
+
+        store = ArtifactStore(tmp_path)
+        fingerprint = weights_fingerprint(np.asarray(weights, dtype=np.float64))
+        store.store_layer(fingerprint, 8, config, compress(weights, config))
+        assert not orphan.exists()
+        assert store.lifetime_counters()["swept_tmp_files"] == 1
