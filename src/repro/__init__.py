@@ -91,7 +91,7 @@ from repro.serve import BatchPolicy, Server, ServeResponse, run_open_loop
 from repro.store import ArtifactStore
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALL_BENCHMARKS",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -211,6 +212,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", type=str, default=None, metavar="DIR",
         help="also write <experiment>.txt and <experiment>.json under DIR",
     )
+    exp_run_parser.add_argument(
+        "--shard-id", type=int, default=None, metavar="I",
+        help="run only shard I of a --shard-count partition and publish its "
+             "partial records to the artifact store (requires the store)",
+    )
+    exp_run_parser.add_argument(
+        "--shard-count", type=int, default=None, metavar="N",
+        help="partition the expanded grid into N contiguous shards "
+             "(used with --shard-id; 'experiment merge' reassembles them)",
+    )
+    exp_merge_parser = experiment_sub.add_parser(
+        "merge", help="merge a sharded run's partial records into the full result"
+    )
+    exp_merge_parser.add_argument(
+        "name", nargs="?", default=None, help="registered experiment name"
+    )
+    exp_merge_parser.add_argument(
+        "--spec", type=str, default=None, metavar="FILE",
+        help="JSON spec file (must match the one the shards ran)",
+    )
+    exp_merge_parser.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="override one spec field (must match the shard invocations)",
+    )
+    exp_merge_parser.add_argument(
+        "--shard-count", type=int, required=True, metavar="N",
+        help="the partition size the shards were run with",
+    )
+    exp_merge_parser.add_argument(
+        "--no-recompute", action="store_true",
+        help="fail (exit 2) on missing shards instead of recomputing them "
+             "in this process",
+    )
+    exp_merge_parser.add_argument(
+        "--results-dir", type=str, default=None, metavar="DIR",
+        help="also write <experiment>.txt and <experiment>.json under DIR",
+    )
+
+    shard_parser = subparsers.add_parser(
+        "shard", help="inspect a sharded sweep's partition and store status"
+    )
+    shard_sub = shard_parser.add_subparsers(dest="shard_command", required=True)
+    shard_common = argparse.ArgumentParser(add_help=False)
+    shard_common.add_argument(
+        "name", nargs="?", default=None, help="registered experiment name"
+    )
+    shard_common.add_argument(
+        "--spec", type=str, default=None, metavar="FILE",
+        help="JSON spec file (see 'experiment describe' for the shape)",
+    )
+    shard_common.add_argument(
+        "--set", dest="overrides", action="append", default=[], metavar="KEY=VALUE",
+        help="override one spec field (must match the shard invocations)",
+    )
+    shard_common.add_argument(
+        "--shard-count", type=int, required=True, metavar="N",
+        help="partition size to plan against",
+    )
+    shard_sub.add_parser(
+        "plan", parents=[shard_common],
+        help="show the deterministic partition: each shard's point range and key",
+    )
+    shard_sub.add_parser(
+        "status", parents=[shard_common],
+        help="show which shards of the partition exist in the artifact store",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk compression artifact store"
@@ -389,6 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--input-seed", type=int, default=1, help="RNG seed for the request vectors"
     )
     serve_bench_parser.add_argument(
+        "--closed-loop", type=int, default=None, metavar="N",
+        help="closed-loop mode: N workers each keep one request in flight "
+             "(the capacity probe; --rate is ignored)",
+    )
+    serve_bench_parser.add_argument(
         "--verify", action="store_true",
         help="after the sweep, re-run every request through the offline "
              "Session.run_model path and require bit-identical outputs",
@@ -493,6 +565,127 @@ def _parse_override(
     return key, value
 
 
+def _experiment_spec_from_args(
+    args: argparse.Namespace, command: str
+) -> ExperimentSpec:
+    """Resolve the merged spec an experiment subcommand names.
+
+    Shared by ``experiment run``, ``experiment merge`` and ``shard
+    plan/status`` — the sharded flow depends on every invocation resolving
+    the identical spec from the identical arguments.
+    """
+    if args.spec is not None:
+        spec = ExperimentSpec.from_json(Path(args.spec).read_text())
+        if args.name is not None and args.name != spec.experiment:
+            raise SystemExit(
+                f"experiment {command}: name {args.name!r} does not match the "
+                f"spec file's experiment {spec.experiment!r}"
+            )
+    elif args.name is not None:
+        spec = ExperimentSpec(experiment=args.name)
+    else:
+        raise SystemExit(f"experiment {command}: give an experiment name or --spec FILE")
+    experiment = ExperimentRegistry.get(spec.experiment)
+    spec = experiment.spec.merged(spec)
+    if args.overrides:
+        spec = spec.with_overrides([_parse_override(entry) for entry in args.overrides])
+    return spec
+
+
+def _shard_store(context: str) -> "ArtifactStore":
+    """The store a sharded subcommand requires (typed error when disabled)."""
+    from repro.errors import ShardError
+
+    store = maybe_default_store()
+    if store is None:
+        raise ShardError(
+            f"{context} needs the artifact store to exchange partial results "
+            f"(it is disabled; unset REPRO_STORE=0 or set REPRO_STORE_DIR)"
+        )
+    return store
+
+
+def _run_experiment_shard(args: argparse.Namespace, spec: ExperimentSpec) -> str:
+    """``experiment run --shard-id I --shard-count N``: run one partition."""
+    from repro.errors import ShardCoordinateError
+    from repro.shard import plan_shards, run_shard, validate_coords
+
+    if args.shard_id is None or args.shard_count is None:
+        raise ShardCoordinateError(
+            "experiment run: --shard-id and --shard-count go together "
+            "(give both or neither)"
+        )
+    validate_coords(args.shard_id, args.shard_count)
+    store = _shard_store("experiment run --shard-id")
+    runner = _runner(jobs=args.jobs, executor=args.executor, store=store)
+    plan = plan_shards(spec, args.shard_count, runner=runner)
+    summary = run_shard(plan, args.shard_id, store, runner=runner)
+    origin = "store (already published)" if summary["cached"] else "this run"
+    return (
+        f"shard {summary['shard_id']}/{summary['shard_count']} of "
+        f"{plan.experiment.name}: {summary['points']} of {len(plan.points)} "
+        f"points from {origin}\nkey {summary['key']}\n"
+        f"merge with: repro experiment merge {plan.experiment.name} "
+        f"--shard-count {summary['shard_count']}"
+    )
+
+
+def _run_experiment_merge(args: argparse.Namespace) -> str:
+    """``experiment merge``: reassemble shard artifacts into the full result."""
+    from repro.shard import merge_shards, plan_shards
+
+    spec = _experiment_spec_from_args(args, "merge")
+    store = _shard_store("experiment merge")
+    runner = _runner(store=store)
+    plan = plan_shards(spec, args.shard_count, runner=runner)
+    result = merge_shards(plan, store, runner=runner, recompute=not args.no_recompute)
+    if args.results_dir:
+        txt_path, json_path = result.write(args.results_dir)
+        print(f"wrote {txt_path} and {json_path}", file=sys.stderr)
+    stats = store.stats()["by_kind"]["shards"]
+    print(
+        f"{result.experiment}: merged {plan.shard_count} shards, "
+        f"{result.metadata['points']} points "
+        f"(store: {stats['hits']} shard hits, {stats['stores']} recomputed)",
+        file=sys.stderr,
+    )
+    return result.to_table()
+
+
+def _run_shard_command(args: argparse.Namespace) -> str:
+    """``shard plan``/``shard status``: inspect a partition and its store state."""
+    from repro.shard import plan_shards
+
+    spec = _experiment_spec_from_args(args, args.shard_command)
+    store = _shard_store(f"shard {args.shard_command}")
+    plan = plan_shards(spec, args.shard_count, runner=_runner(store=store))
+    rows = plan.describe(store)
+    if args.shard_command == "plan":
+        return (
+            f"{plan.experiment.name}: {len(plan.points)} points over "
+            f"{plan.shard_count} shards\n"
+            + format_table(
+                ["Shard", "Points", "Range", "Key", "In store"],
+                [
+                    [r["shard_id"], r["points"], f"[{r['start']}, {r['stop']})",
+                     r["key"][:16], "yes" if r["present"] else "no"]
+                    for r in rows
+                ],
+            )
+        )
+    present = sum(1 for r in rows if r["present"])
+    missing = [r["shard_id"] for r in rows if not r["present"]]
+    status = (
+        f"{plan.experiment.name}: {present}/{plan.shard_count} shards in "
+        f"{store.root}"
+    )
+    if missing:
+        status += f"\nmissing shard ids: {', '.join(map(str, missing))}"
+    else:
+        status += "\nall shards present; 'experiment merge' will be pure loads"
+    return status
+
+
 def _run_experiment_command(args: argparse.Namespace) -> str:
     if args.experiment_command == "list":
         rows = [
@@ -502,22 +695,12 @@ def _run_experiment_command(args: argparse.Namespace) -> str:
         return format_table(["Experiment", "Description"], rows)
     if args.experiment_command == "describe":
         return json.dumps(ExperimentRegistry.describe(args.name), indent=2)
+    if args.experiment_command == "merge":
+        return _run_experiment_merge(args)
 
-    if args.spec is not None:
-        spec = ExperimentSpec.from_json(Path(args.spec).read_text())
-        if args.name is not None and args.name != spec.experiment:
-            raise SystemExit(
-                f"experiment run: name {args.name!r} does not match the spec file's "
-                f"experiment {spec.experiment!r}"
-            )
-    elif args.name is not None:
-        spec = ExperimentSpec(experiment=args.name)
-    else:
-        raise SystemExit("experiment run: give an experiment name or --spec FILE")
-    experiment = ExperimentRegistry.get(spec.experiment)
-    spec = experiment.spec.merged(spec)
-    if args.overrides:
-        spec = spec.with_overrides([_parse_override(entry) for entry in args.overrides])
+    spec = _experiment_spec_from_args(args, "run")
+    if args.shard_id is not None or args.shard_count is not None:
+        return _run_experiment_shard(args, spec)
     result = _runner(
         jobs=args.jobs, executor=args.executor, store=_store_for(args)
     ).run(spec)
@@ -566,7 +749,10 @@ def _model_session(args: argparse.Namespace, config: EIEConfig) -> Session:
 
 
 def _run_cache_command(args: argparse.Namespace) -> str:
-    store = ArtifactStore(args.dir) if args.dir else ArtifactStore(default_store_root())
+    from repro.store.artifacts import _default_budget
+
+    root = args.dir if args.dir else default_store_root()
+    store = ArtifactStore(root, size_budget_bytes=_default_budget())
     if args.cache_command == "clear":
         removed = store.clear()
         return f"removed {removed} artifact store entr{'y' if removed == 1 else 'ies'} from {store.root}"
@@ -575,17 +761,33 @@ def _run_cache_command(args: argparse.Namespace) -> str:
         return f"swept {swept} stale temp file{'' if swept == 1 else 's'} from {store.root}"
     description = store.describe()
     lifetime = description["lifetime"]
+    budget = description["size_budget_bytes"]
     rows = [
         ["Store root", description["root"]],
         ["Entries", description["entries"]],
         ["Size (KiB)", f"{description['size_bytes'] / 1024.0:.1f}"],
+        ["Size budget (KiB)", "none" if budget is None else f"{budget / 1024.0:.1f}"],
         ["Payload format", description["format"]],
         ["Enabled (REPRO_STORE)", store_enabled()],
         ["Stored (lifetime)", lifetime["stored_entries"]],
         ["Corrupt (lifetime)", lifetime["corrupt_entries"]],
         ["Swept tmp (lifetime)", lifetime["swept_tmp_files"]],
+        ["Evicted (lifetime)", lifetime["evicted_entries"]],
     ]
-    return "Compression artifact store:\n" + format_table(["Field", "Value"], rows)
+    kind_rows = [
+        [kind, info["entries"], f"{info['size_bytes'] / 1024.0:.1f}",
+         description["by_kind"][kind]["hits"], description["by_kind"][kind]["misses"],
+         description["by_kind"][kind]["evictions"]]
+        for kind, info in description["kinds"].items()
+    ]
+    return (
+        "Compression artifact store:\n"
+        + format_table(["Field", "Value"], rows)
+        + "\n\nPer artifact kind (this process):\n"
+        + format_table(
+            ["Kind", "Entries", "KiB", "Hits", "Misses", "Evicted"], kind_rows
+        )
+    )
 
 
 def _run_model_command(args: argparse.Namespace) -> str:
@@ -882,13 +1084,41 @@ def _serve_bench_offline_verify(
 
 
 def _run_serve_bench(args: argparse.Namespace) -> str:
-    """``serve bench``: open-loop sweep against a daemon or in-process server."""
+    """``serve bench``: load sweep against a daemon or in-process server.
+
+    Open-loop rate sweep by default; ``--closed-loop N`` runs one
+    fixed-concurrency capacity probe instead.
+    """
     import asyncio
 
-    from repro.serve import AsyncServeClient, run_open_loop
+    from repro.serve import AsyncServeClient, run_closed_loop, run_open_loop
 
     if args.requests < 1:
         raise SystemExit("serve bench: --requests must be >= 1")
+    if args.closed_loop is not None and args.closed_loop < 1:
+        raise SystemExit("serve bench: --closed-loop must be >= 1")
+
+    async def drive(submit, inputs) -> list:
+        """One report per sweep point: rates open loop, or one closed loop."""
+        if args.closed_loop is not None:
+            return [
+                await run_closed_loop(
+                    submit,
+                    inputs,
+                    concurrency=args.closed_loop,
+                    capture_outputs=args.verify,
+                )
+            ]
+        return [
+            await run_open_loop(
+                submit,
+                inputs,
+                rate_rps=rate,
+                seed=args.arrival_seed,
+                capture_outputs=args.verify,
+            )
+            for rate in args.rate
+        ]
 
     async def bench_remote() -> tuple[list, str | None]:
         host, _, port_text = args.connect.rpartition(":")
@@ -918,17 +1148,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
                 num_pes=description["num_pes"], fifo_depth=description["fifo_depth"]
             )
             inputs = _serve_bench_inputs(args, model, description)
-            reports = []
-            for rate in args.rate:
-                reports.append(
-                    await run_open_loop(
-                        lambda vector: client.infer(name, vector),
-                        inputs,
-                        rate_rps=rate,
-                        seed=args.arrival_seed,
-                        capture_outputs=args.verify,
-                    )
-                )
+            reports = await drive(lambda vector: client.infer(name, vector), inputs)
             verdict = None
             if args.verify:
                 session = Session(
@@ -954,17 +1174,7 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
             description = server.describe(name)
             model = ModelRegistry.build(ModelSpec.from_dict(description["spec"]))
             inputs = _serve_bench_inputs(args, model, description)
-            reports = []
-            for rate in args.rate:
-                reports.append(
-                    await run_open_loop(
-                        lambda vector: server.submit(name, vector),
-                        inputs,
-                        rate_rps=rate,
-                        seed=args.arrival_seed,
-                        capture_outputs=args.verify,
-                    )
-                )
+            reports = await drive(lambda vector: server.submit(name, vector), inputs)
         verdict = None
         if args.verify:
             config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
@@ -979,17 +1189,31 @@ def _run_serve_bench(args: argparse.Namespace) -> str:
     reports, verdict = asyncio.run(
         bench_remote() if args.connect else bench_local()
     )
-    rows = [
-        [r["offered_rps"], r["completed"], r["rejected"], r["errors"],
-         f"{r['throughput_rps']:.1f}", f"{r['p50_ms']:.3f}", f"{r['p99_ms']:.3f}",
-         f"{r['mean_batch']:.2f}"]
-        for r in (report.record() for report in reports)
-    ]
-    output = "Open-loop serving benchmark:\n" + format_table(
-        ["Offered (rps)", "Done", "Rej", "Err", "Throughput (rps)",
-         "p50 (ms)", "p99 (ms)", "Mean batch"],
-        rows,
-    )
+    records = [report.record() for report in reports]
+    if args.closed_loop is not None:
+        rows = [
+            [r["concurrency"], r["completed"], r["rejected"], r["errors"],
+             f"{r['throughput_rps']:.1f}", f"{r['p50_ms']:.3f}", f"{r['p99_ms']:.3f}",
+             f"{r['mean_batch']:.2f}"]
+            for r in records
+        ]
+        output = "Closed-loop serving benchmark:\n" + format_table(
+            ["Workers", "Done", "Rej", "Err", "Throughput (rps)",
+             "p50 (ms)", "p99 (ms)", "Mean batch"],
+            rows,
+        )
+    else:
+        rows = [
+            [r["offered_rps"], r["completed"], r["rejected"], r["errors"],
+             f"{r['throughput_rps']:.1f}", f"{r['p50_ms']:.3f}", f"{r['p99_ms']:.3f}",
+             f"{r['mean_batch']:.2f}"]
+            for r in records
+        ]
+        output = "Open-loop serving benchmark:\n" + format_table(
+            ["Offered (rps)", "Done", "Rej", "Err", "Throughput (rps)",
+             "p50 (ms)", "p99 (ms)", "Mean batch"],
+            rows,
+        )
     if verdict:
         output += f"\n\n{verdict}"
     return output
@@ -1052,6 +1276,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             output = _run_engine(args)
         elif args.command == "experiment":
             output = _run_experiment_command(args)
+        elif args.command == "shard":
+            output = _run_shard_command(args)
         elif args.command == "cache":
             output = _run_cache_command(args)
         elif args.command == "model":
@@ -1065,7 +1291,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"repro-eie: {error}", file=sys.stderr)
         return 2
-    print(output)
+    try:
+        print(output)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `| grep -q` / `| head`): the command
+        # itself succeeded, and a traceback on stdout teardown helps nobody.
+        # Point fd 1 at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 

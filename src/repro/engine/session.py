@@ -278,23 +278,94 @@ class Session:
         cached = self._cache_get("models", self._model_cache, key)
         if cached is not None:
             return cached
-        layers: dict[str, CompressedLayer] = {}
-        by_content: dict[tuple[str, str], CompressedLayer] = {}
-        for node in model:
-            content = (weights_fingerprint(node.weight), node.activation)
-            layer = by_content.get(content)
-            if layer is None:
-                layer = self.compress(
-                    node.weight,
-                    num_pes=int(num_pes),
-                    name=f"{model.name}/{node.name}",
-                    activation_name=node.activation,
-                )
-                by_content[content] = layer
-            layers[node.name] = layer
+        layers = self._load_model_manifest(model, int(num_pes))
+        if layers is None:
+            layers = {}
+            by_content: dict[tuple[str, str], CompressedLayer] = {}
+            layer_keys: dict[str, str] = {}
+            for node in model:
+                fingerprint = weights_fingerprint(node.weight)
+                content = (fingerprint, node.activation)
+                layer = by_content.get(content)
+                if layer is None:
+                    layer = self.compress(
+                        node.weight,
+                        num_pes=int(num_pes),
+                        name=f"{model.name}/{node.name}",
+                        activation_name=node.activation,
+                    )
+                    by_content[content] = layer
+                layers[node.name] = layer
+                if self.store is not None:
+                    layer_keys[node.name] = self.store.layer_key(
+                        fingerprint, int(num_pes), self.compressor.config
+                    )
+            self._store_model_manifest(model, int(num_pes), layer_keys)
         compressed = CompressedModel(model=model, num_pes=int(num_pes), layers=layers)
         self._cache_put("models", self._model_cache, key, compressed)
         return compressed
+
+    def _model_manifest_key(self, model: Any, num_pes: int) -> str:
+        from repro.store.artifacts import ArtifactStore
+
+        return ArtifactStore.content_key(
+            {
+                "artifact": "compressed-model",
+                "model": model.fingerprint(),
+                "num_pes": int(num_pes),
+                "compression": self.compressor.config.to_dict(),
+            }
+        )
+
+    def _load_model_manifest(self, model: Any, num_pes: int) -> dict | None:
+        """Rebuild a whole compressed model from its store manifest, if present.
+
+        A manifest hit skips per-node fingerprinting entirely: the manifest
+        records each node's compressed-layer content key, so a warm
+        ``compress_model`` is one JSON load plus one layer load per distinct
+        weight matrix.  Any missing or corrupt layer entry falls back to the
+        full compress path (which republishes both the layers and the
+        manifest).
+        """
+        if self.store is None:
+            return None
+        manifest = self.store.load_json("models", self._model_manifest_key(model, num_pes))
+        if manifest is None:
+            return None
+        layers: dict[str, Any] = {}
+        by_key: dict[str, Any] = {}
+        for node in model:
+            entry = manifest.get("nodes", {}).get(node.name)
+            if not isinstance(entry, str):
+                return None
+            layer = by_key.get(entry)
+            if layer is None:
+                layer = self.store.load_layer_by_key(
+                    entry,
+                    name=f"{model.name}/{node.name}",
+                    activation_name=node.activation,
+                )
+                if layer is None:
+                    return None
+                by_key[entry] = layer
+            layers[node.name] = layer
+        return layers
+
+    def _store_model_manifest(
+        self, model: Any, num_pes: int, layer_keys: dict[str, str]
+    ) -> None:
+        if self.store is None or len(layer_keys) == 0:
+            return
+        self.store.store_json(
+            "models",
+            self._model_manifest_key(model, num_pes),
+            {
+                "model": model.name,
+                "fingerprint": model.fingerprint(),
+                "num_pes": int(num_pes),
+                "nodes": dict(layer_keys),
+            },
+        )
 
     def run_node(
         self,
@@ -417,17 +488,20 @@ class Session:
         """Entry and hit counts of the four caches (for tests and reports).
 
         With an attached artifact store the ``"store"`` entry carries its
-        hit/miss/store/error counters; without one it reads all zeros.  The
+        hit/miss/store/error/eviction counters — aggregated at the top level
+        and broken down per artifact kind (layers / prepared / models /
+        shards) under ``"by_kind"``; without one it reads all zeros.  The
         ``"engines"`` entry additionally breaks entries down by engine name
         under ``"by_engine"`` — engine-cache keys include the registry name,
         so same-config instances of different backends (``cycle`` versus
         ``cycle-native``) occupy distinct entries and never collide.
         """
-        store_stats = (
-            self.store.stats()
-            if self.store is not None
-            else {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
-        )
+        if self.store is not None:
+            store_stats = self.store.stats()
+        else:
+            from repro.store.artifacts import ArtifactStore
+
+            store_stats = ArtifactStore.zero_stats()
         # Snapshot sizes, hit counters and the engine-key breakdown under the
         # lock: a concurrent _cache_put may insert or LRU-evict while we read,
         # and iterating a mutating dict raises RuntimeError.

@@ -32,6 +32,50 @@ class WorkloadError(ReproError):
     """Raised when a benchmark workload specification is invalid."""
 
 
+class ShardError(ReproError):
+    """Raised when the sharded execution layer is misused."""
+
+
+class ShardCoordinateError(ShardError):
+    """Raised for invalid shard coordinates.
+
+    A shard is addressed by ``(shard_id, shard_count)``; the id must satisfy
+    ``0 <= shard_id < shard_count`` and the count must be at least 1.
+
+    Attributes:
+        shard_id: the offending shard index (``None`` when only the count
+            is invalid).
+        shard_count: the offending shard count.
+    """
+
+    def __init__(
+        self, message: str, shard_id: int | None = None, shard_count: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.shard_count = shard_count
+
+
+class ShardMergeError(ShardError):
+    """Raised when a shard set cannot be merged into one result.
+
+    Attributes:
+        missing: shard ids absent from (or corrupt in) the store.
+        overlapping: shard ids whose point ranges collide or fail to tile
+            the expanded grid.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        missing: tuple[int, ...] = (),
+        overlapping: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.missing = tuple(missing)
+        self.overlapping = tuple(overlapping)
+
+
 class ServeError(ReproError):
     """Raised when the serving layer is misused or misconfigured."""
 

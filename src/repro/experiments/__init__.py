@@ -26,6 +26,7 @@ layering and how to register your own experiment.
 """
 
 from repro.experiments.catalog import BUILTIN_EXPERIMENTS
+from repro.experiments.dse_catalog import DSE_EXPERIMENTS
 from repro.experiments.models_catalog import MODEL_EXPERIMENTS
 from repro.experiments.registry import Experiment, ExperimentRegistry, register_experiment
 from repro.experiments.reliability_catalog import RELIABILITY_EXPERIMENTS
@@ -36,6 +37,7 @@ from repro.experiments.spec import ExperimentSpec
 
 __all__ = [
     "BUILTIN_EXPERIMENTS",
+    "DSE_EXPERIMENTS",
     "MODEL_EXPERIMENTS",
     "RELIABILITY_EXPERIMENTS",
     "SERVE_EXPERIMENTS",

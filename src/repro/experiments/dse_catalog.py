@@ -1,0 +1,201 @@
+"""Design-space exploration: the full PE x density x SRAM x ECC Pareto sweep.
+
+``dse_pareto`` is the scale-out demonstrator: a 1008-point grid (7 PE counts
+x 12 pruned densities x 4 Spmat SRAM widths x 3 ECC schemes) scoring every
+configuration on the three axes the paper trades against each other —
+latency (cycle-model M x V time), energy (SRAM reads at the configured
+width and ECC overhead plus arithmetic), and storage (encoded entries at
+the ECC scheme's stored-bits factor).  Finalization marks the Pareto-optimal
+points over (latency, energy, storage), so the merged result *is* the
+design-space frontier of Figures 8-13's axes taken jointly.
+
+The sweep is built for sharding (:mod:`repro.shard`): every point derives
+from the spec alone — synthetic workloads seeded by ``(spec seed, density)``,
+cycle runs memoized per ``(density, PE count)`` — so any partition of the
+grid across invocations reproduces the serial records byte for byte, and the
+Pareto marking happens at merge time over the full record list.
+
+Smoke runs: ``--set 'grid.num_pes=[4,16]'`` (and friends) shrink the grid
+to CI size; ``--set params.rows=128 --set params.cols=128`` shrinks the
+synthetic layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.experiments.registry import Experiment, register_experiment
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.spec import ExperimentSpec
+from repro.hardware.energy import add_energy_pj, multiply_energy_pj
+from repro.hardware.sram import (
+    ecc_read_energy_factor,
+    ecc_storage_factor,
+    sram_read_energy_pj,
+)
+from repro.utils.rng import derive_seed
+from repro.workloads.benchmarks import LayerSpec
+
+__all__ = ["DSE_EXPERIMENTS"]
+
+#: The default 7 x 12 x 4 x 3 = 1008-point design-space grid.
+DEFAULT_PE_GRID = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_DENSITY_GRID = (
+    0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40,
+)
+DEFAULT_WIDTH_GRID = (32, 64, 128, 256)
+DEFAULT_SCHEME_GRID = ("none", "parity", "secded")
+
+
+def _dse_layer(ctx: ExperimentContext, density: float) -> LayerSpec:
+    """The synthetic layer for one density point (seeded by the spec)."""
+    return LayerSpec(
+        name=f"dse-d{density:.3f}",
+        input_size=int(ctx.params["cols"]),
+        output_size=int(ctx.params["rows"]),
+        weight_density=float(density),
+        activation_density=float(ctx.params["act_density"]),
+        description="dse_pareto synthetic layer",
+        seed=derive_seed(ctx.seed, "dse-pareto", repr(float(density))),
+    )
+
+
+def _dse_timing(ctx: ExperimentContext, density: float, num_pes: int):
+    """Cycle-model stats for one (density, PE count) — shared by 12 points.
+
+    The Spmat width and ECC axes do not change the cycle-level schedule
+    (reads are wider, not reordered), so the simulation is memoized per
+    (density, PE) pair and the width/ECC effects are costed analytically —
+    exactly the Figure 9 discipline, applied pointwise across the grid.
+    """
+    workload = ctx.builder.build(_dse_layer(ctx, density), num_pes)
+    stats = ctx.memo(
+        ("dse-timing", repr(float(density)), int(num_pes)),
+        lambda: ctx.session.run(
+            ctx.engine_name, workload, None, ctx.config(num_pes=int(num_pes))
+        ).stats,
+    )
+    return workload, stats
+
+
+def _dse_point(ctx: ExperimentContext, point: dict) -> dict:
+    num_pes = int(point["num_pes"])
+    density = float(point["density"])
+    width = int(point["width_bits"])
+    scheme = str(point["scheme"])
+    entry_bits = int(ctx.params["entry_bits"])
+    spmat_sram_kb = float(ctx.params["spmat_sram_kb"])
+
+    workload, stats = _dse_timing(ctx, density, num_pes)
+    config = ctx.config(num_pes=num_pes, spmat_sram_width_bits=width)
+
+    # -- latency axis: the cycle model at this PE count ------------------------
+    cycles = int(stats.total_cycles)
+    latency_us = cycles / config.clock_mhz
+
+    # -- energy axis: SRAM reads at this width/ECC + arithmetic ---------------
+    entries_per_read = max(1, width // entry_bits)
+    reads = int(np.ceil(workload.work / entries_per_read).sum())
+    read_energy_pj = (
+        reads * sram_read_energy_pj(width, spmat_sram_kb) * ecc_read_energy_factor(scheme)
+    )
+    mac_energy_pj = workload.touched_entries * (
+        multiply_energy_pj("int16") + add_energy_pj("int16")
+    )
+    total_energy_nj = (read_energy_pj + mac_energy_pj) / 1e3
+
+    # -- storage axis: encoded entries at the ECC stored-bits factor ----------
+    storage_kib = (
+        workload.total_entries * entry_bits * ecc_storage_factor(scheme) / 8192.0
+    )
+
+    return {
+        "cycles": cycles,
+        "latency_us": latency_us,
+        "load_balance_efficiency": stats.load_balance_efficiency,
+        "sram_reads": reads,
+        "total_energy_nj": total_energy_nj,
+        "storage_kib": storage_kib,
+    }
+
+
+#: The three objectives the frontier minimizes, in record-key form.
+PARETO_AXES = ("latency_us", "total_energy_nj", "storage_kib")
+
+
+def _mark_pareto(ctx: ExperimentContext, records: list[dict]) -> list[dict]:
+    """Mark each record's Pareto-optimality over the three objectives.
+
+    Runs at merge/assembly time over the **full** record list — a shard in
+    isolation cannot know the frontier — and is order-preserving, so the
+    records (and therefore the serialized result) stay byte-identical across
+    serial, process-pool and sharded execution.
+    """
+    objectives = np.array(
+        [[record[axis] for axis in PARETO_AXES] for record in records], dtype=np.float64
+    )
+    optimal = np.ones(len(records), dtype=bool)
+    for index in range(len(records)):
+        if not optimal[index]:
+            continue
+        dominates = (objectives <= objectives[index]).all(axis=1) & (
+            objectives < objectives[index]
+        ).any(axis=1)
+        if dominates.any():
+            optimal[index] = False
+    return [
+        {**record, "pareto": bool(flag)} for record, flag in zip(records, optimal)
+    ]
+
+
+def _render_dse(result: ExperimentResult) -> str:
+    frontier = [record for record in result.records if record.get("pareto")]
+    header = (
+        f"Design-space Pareto frontier: {len(frontier)} of "
+        f"{len(result.records)} configurations survive "
+        f"(minimizing latency, energy, storage):"
+    )
+    return header + "\n" + format_table(
+        ["PEs", "Density", "Width", "ECC", "Latency us", "Energy nJ",
+         "Storage KiB", "Load bal"],
+        [
+            [r["num_pes"], r["density"], r["width_bits"], r["scheme"],
+             r["latency_us"], r["total_energy_nj"], r["storage_kib"],
+             r["load_balance_efficiency"]]
+            for r in frontier
+        ],
+    )
+
+
+DSE_EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        name="dse_pareto",
+        description="1008-point PE x density x SRAM width x ECC design-space Pareto sweep",
+        spec=ExperimentSpec(
+            experiment="dse_pareto",
+            grid={
+                "num_pes": DEFAULT_PE_GRID,
+                "density": DEFAULT_DENSITY_GRID,
+                "width_bits": DEFAULT_WIDTH_GRID,
+                "scheme": DEFAULT_SCHEME_GRID,
+            },
+            params={
+                "rows": 512,
+                "cols": 512,
+                "act_density": 0.35,
+                "spmat_sram_kb": 128.0,
+                "entry_bits": 8,
+            },
+            seed=20160618,
+        ),
+        run_point=_dse_point,
+        render=_render_dse,
+        finalize=_mark_pareto,
+        uses_workloads=False,
+    ),
+)
+
+for _experiment in DSE_EXPERIMENTS:
+    register_experiment(_experiment)

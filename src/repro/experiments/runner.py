@@ -39,7 +39,13 @@ from repro.experiments.spec import ExperimentSpec
 from repro.workloads.benchmarks import LayerSpec, get_benchmark
 from repro.workloads.generator import LayerWorkload, WorkloadBuilder
 
-__all__ = ["EXECUTORS", "ExperimentContext", "ExperimentRunner", "run_experiment"]
+__all__ = [
+    "EXECUTORS",
+    "ExperimentContext",
+    "ExperimentRunner",
+    "assemble_result",
+    "run_experiment",
+]
 
 #: Paper id recorded in every result's provenance.
 SOURCE_PAPER = "conf_isca_HanLMPPHD16"
@@ -158,6 +164,53 @@ def _run_points_in_subprocess(payload: dict) -> list[list[dict]]:
             outcome = [outcome]
         chunk_records.append([{**point, **record} for record in outcome])
     return chunk_records
+
+
+def assemble_result(
+    context: ExperimentContext,
+    points: Sequence[dict[str, Any]],
+    per_point: Sequence[Sequence[dict[str, Any]]],
+    layer_specs: Mapping[str, Any],
+    jobs: int = 1,
+    executor: str = "serial",
+    duration_s: float = 0.0,
+) -> ExperimentResult:
+    """Assemble per-point record lists into the final :class:`ExperimentResult`.
+
+    This is the single place the result's records, metadata and provenance
+    are shaped — :meth:`ExperimentRunner.run` and
+    :func:`repro.shard.merge_shards` both end here, which is what makes a
+    merged sharded sweep byte-identical to a serial run: finalization runs
+    over the full flattened record list (never per shard), and the
+    serialized metadata/provenance depend only on the spec and the points.
+    """
+    experiment = context.experiment
+    spec = context.spec
+    records = [record for point_records in per_point for record in point_records]
+    if experiment.finalize is not None:
+        records = experiment.finalize(context, records)
+
+    from repro import __version__
+
+    return ExperimentResult(
+        experiment=experiment.name,
+        spec=spec,
+        records=records,
+        metadata={
+            "points": len(points),
+            "jobs": jobs,
+            "executor": executor,
+            "duration_s": duration_s,
+            "axes": [axis for axis in points[0]] if points and points[0] else [],
+            "engine": context.engine_name,
+        },
+        provenance={
+            "spec": spec.to_dict(),
+            "workloads": list(layer_specs),
+            "version": __version__,
+            "paper": SOURCE_PAPER,
+        },
+    )
 
 
 class ExperimentRunner:
@@ -302,6 +355,31 @@ class ExperimentRunner:
             dict(zip(names, values)) for values in product(*(values for _, values in axes))
         ]
 
+    def resolve(
+        self,
+        spec_or_name: "str | ExperimentSpec",
+        workloads: "Sequence[str | LayerSpec] | None" = None,
+        **overrides: Any,
+    ) -> tuple[Experiment, ExperimentSpec, "dict[str, LayerSpec]", list[dict[str, Any]]]:
+        """Resolve a run without executing it.
+
+        Returns the registered experiment, the fully merged spec, the
+        resolved workload specs, and the expanded point list in execution
+        order — exactly the state :meth:`run` would execute.  The sharded
+        executor plans partitions against this, so a shard worker and a
+        serial run agree on point identity and order by construction.
+        """
+        experiment, spec = self._merge_spec(spec_or_name, overrides)
+        spec, layer_specs = self._resolve_workloads(experiment, spec, workloads)
+        points = self._expand_points(experiment, spec, list(layer_specs))
+        return experiment, spec, layer_specs, points
+
+    def context_for(
+        self, experiment: Experiment, spec: ExperimentSpec, layer_specs: "dict[str, LayerSpec]"
+    ) -> ExperimentContext:
+        """An :class:`ExperimentContext` over this runner's shared session."""
+        return ExperimentContext(experiment, spec, self.builder, self.session, layer_specs)
+
     # -- execution ---------------------------------------------------------------
 
     def run(
@@ -335,22 +413,19 @@ class ExperimentRunner:
             raise ConfigurationError(
                 f"unknown executor {executor!r}; expected one of {', '.join(EXECUTORS)}"
             )
-        experiment, spec = self._merge_spec(
+        experiment, spec, layer_specs, points = self.resolve(
             spec_or_name,
-            {
-                "config": config,
-                "compression": compression,
-                "grid": grid,
-                "params": params,
-                "engine": engine,
-                "seed": seed,
-                "scale": scale,
-                "repeats": repeats,
-            },
+            workloads=workloads,
+            config=config,
+            compression=compression,
+            grid=grid,
+            params=params,
+            engine=engine,
+            seed=seed,
+            scale=scale,
+            repeats=repeats,
         )
-        spec, layer_specs = self._resolve_workloads(experiment, spec, workloads)
-        context = ExperimentContext(experiment, spec, self.builder, self.session, layer_specs)
-        points = self._expand_points(experiment, spec, list(layer_specs))
+        context = self.context_for(experiment, spec, layer_specs)
 
         started = time.perf_counter()
 
@@ -384,31 +459,14 @@ class ExperimentRunner:
         else:
             with ThreadPoolExecutor(max_workers=min(jobs, len(points))) as pool:
                 per_point = list(pool.map(run_one, points))
-        records = [record for point_records in per_point for record in point_records]
-        if experiment.finalize is not None:
-            records = experiment.finalize(context, records)
-        duration = time.perf_counter() - started
-
-        from repro import __version__
-
-        return ExperimentResult(
-            experiment=experiment.name,
-            spec=spec,
-            records=records,
-            metadata={
-                "points": len(points),
-                "jobs": jobs,
-                "executor": executor,
-                "duration_s": duration,
-                "axes": [axis for axis in points[0]] if points and points[0] else [],
-                "engine": context.engine_name,
-            },
-            provenance={
-                "spec": spec.to_dict(),
-                "workloads": list(layer_specs),
-                "version": __version__,
-                "paper": SOURCE_PAPER,
-            },
+        return assemble_result(
+            context,
+            points,
+            per_point,
+            layer_specs,
+            jobs=jobs,
+            executor=executor,
+            duration_s=time.perf_counter() - started,
         )
 
 

@@ -12,7 +12,8 @@ cycle engine vectorizes, without changing a single answer bit.
   (:mod:`repro.serve.server`);
 * :class:`ModelPipeline` — node-pipelined whole-model execution across
   per-stage engine sessions (:mod:`repro.serve.pipeline`);
-* :func:`run_open_loop` / :class:`LoadReport` — Poisson open-loop load
+* :func:`run_open_loop` / :func:`run_closed_loop` / :class:`LoadReport`
+  — Poisson open-loop and fixed-concurrency closed-loop load
   generation with p50/p99/throughput reporting
   (:mod:`repro.serve.loadgen`);
 * :func:`start_daemon` / :class:`AsyncServeClient` — the JSON-lines TCP
@@ -36,7 +37,7 @@ serving performance is tracked exactly like the paper figures.  See
 ``docs/ARCHITECTURE.md`` ("The serving layer").
 """
 
-from repro.serve.loadgen import LoadReport, run_open_loop
+from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
 from repro.serve.pipeline import ModelPipeline
 from repro.serve.protocol import AsyncServeClient, start_daemon
 from repro.serve.server import BatchPolicy, Server, ServeResponse
@@ -48,6 +49,7 @@ __all__ = [
     "ModelPipeline",
     "ServeResponse",
     "Server",
+    "run_closed_loop",
     "run_open_loop",
     "start_daemon",
 ]

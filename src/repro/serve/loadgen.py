@@ -1,4 +1,4 @@
-"""Open-loop load generation against a serving endpoint.
+"""Open- and closed-loop load generation against a serving endpoint.
 
 Closed-loop clients (send, wait, send) hide queueing: the arrival rate
 drops whenever the server slows down, so tail latency looks flat no matter
@@ -7,12 +7,20 @@ how overloaded the system is.  Serving systems are instead measured
 rate whether or not earlier ones finished, and the report shows what the
 rate did to p50/p99 latency, throughput and the rejection ratio.
 
-:func:`run_open_loop` drives any async ``submit(vector) -> ServeResponse``
+The closed loop still answers a real question — *capacity*: with N users
+who each keep exactly one request in flight, what throughput and per-request
+latency does the service sustain?  :func:`run_closed_loop` measures that
+directly (N workers, next request issued the moment the previous one
+completes), which is the number capacity planning wants next to the
+open-loop latency-versus-rate curve.
+
+Both generators drive any async ``submit(vector) -> ServeResponse``
 callable — the in-process :class:`~repro.serve.server.Server`, or a
 :class:`~repro.serve.protocol.AsyncServeClient` talking to a daemon over
-TCP — and returns a :class:`LoadReport`.  Arrivals are deterministic per
-seed (exponential gaps from the shared RNG helpers), so a sweep point is
-reproducible.
+TCP — and return a :class:`LoadReport`.  Open-loop arrivals are
+deterministic per seed (exponential gaps from the shared RNG helpers) and
+closed-loop request order is fixed (row *i* is request *i*), so a sweep
+point is reproducible and verifiable bit for bit against the offline path.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ServerOverloadedError
 from repro.utils.rng import derive_seed, make_rng
 
-__all__ = ["LoadReport", "run_open_loop"]
+__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
 
 
 @dataclass
@@ -53,6 +61,10 @@ class LoadReport:
     sim_cycles: float | None
     outputs: list[np.ndarray] | None = None
     responses: list[Any] = field(default_factory=list, repr=False)
+    #: ``"open"`` (Poisson arrivals) or ``"closed"`` (fixed concurrency).
+    mode: str = "open"
+    #: Worker count of a closed-loop run (``None`` for open loop).
+    concurrency: int | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -88,6 +100,8 @@ class LoadReport:
     def record(self) -> dict[str, Any]:
         """A flat JSON-friendly record (one experiment grid point)."""
         return {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
             "offered_rps": self.offered_rps,
             "requests": self.requests,
             "completed": self.completed,
@@ -190,4 +204,93 @@ async def run_open_loop(
         sim_cycles=float(np.mean(sim_cycles)) if sim_cycles else None,
         outputs=[value for value in outputs] if capture_outputs else None,
         responses=responses,
+        mode="open",
+    )
+
+
+async def run_closed_loop(
+    submit: Callable[[np.ndarray], Awaitable[Any]],
+    inputs: np.ndarray,
+    concurrency: int,
+    capture_outputs: bool = False,
+) -> LoadReport:
+    """Drive ``inputs`` through ``submit`` with ``concurrency`` closed loops.
+
+    ``concurrency`` workers each keep exactly one request in flight: a
+    worker pulls the next unclaimed row of ``inputs``, awaits its response,
+    and immediately issues the next — the classic N-user capacity probe.
+    Request *identity* is deterministic (row *i* is request *i*, every row
+    submitted exactly once), so with ``capture_outputs=True`` each output is
+    bit-comparable to the offline path exactly like the open-loop report;
+    which *worker* carries which row depends on completion order and is
+    deliberately not part of the contract.
+
+    Latency is measured from the moment a worker issues the request — a
+    closed loop never queues behind its own arrivals, so unlike the open
+    loop there is no scheduled-arrival backlog to include.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 2 or inputs.shape[0] == 0:
+        raise ConfigurationError(
+            f"load generator needs a non-empty (requests, n_in) matrix, "
+            f"got shape {inputs.shape}"
+        )
+    if concurrency < 1:
+        raise ConfigurationError(
+            f"closed-loop concurrency must be >= 1, got {concurrency}"
+        )
+    count = inputs.shape[0]
+    concurrency = min(int(concurrency), count)
+
+    latencies: list[float] = [float("nan")] * count
+    batch_sizes: list[int] = []
+    sim_latency: list[float] = []
+    sim_cycles: list[int] = []
+    outputs: list[np.ndarray | None] = [None] * count
+    responses: list[Any] = []
+    counters = {"completed": 0, "rejected": 0, "errors": 0}
+    next_index = iter(range(count))
+
+    start = time.perf_counter()
+
+    async def worker() -> None:
+        for index in next_index:  # the shared iterator hands out each row once
+            issued = time.perf_counter()
+            try:
+                response = await submit(inputs[index])
+            except ServerOverloadedError:
+                counters["rejected"] += 1
+                continue
+            except Exception:
+                counters["errors"] += 1
+                continue
+            latencies[index] = (time.perf_counter() - issued) * 1e3
+            counters["completed"] += 1
+            batch_sizes.append(int(response.batch_size))
+            if response.latency_s is not None:
+                sim_latency.append(float(response.latency_s))
+                sim_cycles.append(int(response.total_cycles))
+            if capture_outputs:
+                outputs[index] = np.asarray(response.output)
+            responses.append(response)
+
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    duration = time.perf_counter() - start
+
+    measured = np.asarray([value for value in latencies if value == value])
+    return LoadReport(
+        offered_rps=0.0,  # no offered rate in a closed loop; see throughput_rps
+        requests=count,
+        completed=counters["completed"],
+        rejected=counters["rejected"],
+        errors=counters["errors"],
+        duration_s=duration,
+        latencies_ms=measured,
+        batch_sizes=np.asarray(batch_sizes, dtype=np.int64),
+        sim_latency_us=float(np.mean(sim_latency)) * 1e6 if sim_latency else None,
+        sim_cycles=float(np.mean(sim_cycles)) if sim_cycles else None,
+        outputs=[value for value in outputs] if capture_outputs else None,
+        responses=responses,
+        mode="closed",
+        concurrency=concurrency,
     )

@@ -1,0 +1,32 @@
+"""Scale-out execution: deterministic sharded sweeps over a shared store.
+
+``--executor processes`` parallelizes one machine; :mod:`repro.shard`
+parallelizes *invocations*.  A sweep's expanded point grid is partitioned
+into ``shard_count`` contiguous chunks (:class:`ShardPlan`); each worker —
+another process, another machine cron job, another CI matrix leg — runs one
+chunk (:func:`run_shard`) and publishes its per-point records as an
+``experiment-shard`` artifact in the shared
+:class:`~repro.store.ArtifactStore`; a final :func:`merge_shards` reassembles
+the partials into an :class:`~repro.experiments.result.ExperimentResult`
+byte-identical to a single serial run of the same spec.
+
+The determinism contract mirrors the process executor's: partitioning is a
+pure function of ``(spec, shard_count)``, shard artifacts are keyed by
+sha256 over the spec + resolved workloads + shard coordinates, per-shard
+records are stored **pre-finalization**, and the merge runs the experiment's
+cross-point finalization over the full reassembled record list through the
+same :func:`~repro.experiments.runner.assemble_result` path the runner uses.
+"""
+
+from repro.shard.plan import ShardPlan, plan_shards, shard_ranges, validate_coords
+from repro.shard.run import run_shard
+from repro.shard.merge import merge_shards
+
+__all__ = [
+    "ShardPlan",
+    "merge_shards",
+    "plan_shards",
+    "run_shard",
+    "shard_ranges",
+    "validate_coords",
+]

@@ -1,0 +1,126 @@
+"""Reassembly of shard artifacts into one :class:`ExperimentResult`.
+
+:func:`merge_shards` loads every shard artifact of a plan from the shared
+store, validates that the partials tile the expanded grid exactly (every
+point covered once, no overlaps, coordinates and point ranges echoing the
+plan), and hands the reassembled per-point records to the same
+:func:`~repro.experiments.runner.assemble_result` path a serial run ends in
+— including the experiment's cross-point finalization over the *full*
+record list.  The output is therefore byte-identical to a single serial run
+of the same spec (CI enforces this with ``cmp``, exactly like the process
+backend).
+
+Missing or corrupt partials (the store detects CRC/key mismatches on load
+and reports them as misses) are recomputed **individually** by default —
+never the whole sweep; ``recompute=False`` turns them into a typed
+:class:`~repro.errors.ShardMergeError` instead, for drivers that want to
+fail fast while other workers are still filling the store.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ShardMergeError
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import ExperimentRunner, assemble_result
+from repro.shard.plan import SHARD_FORMAT, ShardPlan
+from repro.shard.run import run_shard
+from repro.store.artifacts import ArtifactStore
+
+__all__ = ["merge_shards"]
+
+
+def _validate_payload(plan: ShardPlan, shard_id: int, payload: dict[str, Any]) -> bool:
+    """Whether a loaded shard payload matches the plan's expectations.
+
+    The store already rejected CRC/key corruption; this guards the logical
+    contract — same format, same coordinates, the exact point range the
+    plan assigns, and one record list per point.
+    """
+    chunk = plan.ranges[shard_id]
+    return (
+        payload.get("shard_format") == SHARD_FORMAT
+        and payload.get("experiment") == plan.experiment.name
+        and payload.get("shard_id") == shard_id
+        and payload.get("shard_count") == plan.shard_count
+        and payload.get("start") == chunk.start
+        and payload.get("stop") == chunk.stop
+        and isinstance(payload.get("records"), list)
+        and len(payload["records"]) == len(chunk)
+    )
+
+
+def merge_shards(
+    plan: ShardPlan,
+    store: ArtifactStore,
+    runner: ExperimentRunner | None = None,
+    recompute: bool = True,
+) -> ExperimentResult:
+    """Merge a plan's shard artifacts into the full experiment result.
+
+    Args:
+        plan: the partition every worker executed against.
+        store: the shared artifact store holding the partials.
+        runner: session used for recomputed shards and finalization context
+            (one attached to ``store`` is created if not given).
+        recompute: recompute missing/corrupt shards in-process (default);
+            when ``False`` they raise :class:`ShardMergeError` instead.
+
+    Raises:
+        ShardMergeError: shards missing with ``recompute=False``, or
+            payloads whose ranges conflict with the plan's partition.
+    """
+    runner = runner or ExperimentRunner(store=store)
+    keys = plan.keys()
+    payloads: dict[int, dict[str, Any]] = {}
+    # Pin the whole shard set while merging: a concurrent writer pushing the
+    # store over its size budget must not evict a partial between our
+    # presence check and its load.
+    with store.pinned(f"merge-{keys[0][:16]}", plan.entry_paths(store)):
+        missing: list[int] = []
+        conflicting: list[int] = []
+        for shard_id in range(plan.shard_count):
+            payload = store.load_json("shards", keys[shard_id])
+            if payload is None:
+                missing.append(shard_id)
+            elif not _validate_payload(plan, shard_id, payload):
+                conflicting.append(shard_id)
+            else:
+                payloads[shard_id] = payload
+        if conflicting:
+            raise ShardMergeError(
+                f"shard artifacts {conflicting} do not tile this plan "
+                f"(stale format or conflicting point ranges); "
+                f"re-run those shards with force=True",
+                overlapping=tuple(conflicting),
+            )
+        if missing and not recompute:
+            raise ShardMergeError(
+                f"{len(missing)} of {plan.shard_count} shards absent from the "
+                f"store: ids {missing}; run them first or merge with "
+                f"recompute enabled",
+                missing=tuple(missing),
+            )
+        for shard_id in missing:
+            run_shard(plan, shard_id, store, runner=runner, force=True)
+            payload = store.load_json("shards", keys[shard_id])
+            if payload is None or not _validate_payload(plan, shard_id, payload):
+                raise ShardMergeError(
+                    f"shard {shard_id} could not be recomputed into the store",
+                    missing=(shard_id,),
+                )
+            payloads[shard_id] = payload
+
+    per_point: list[list[dict[str, Any]]] = []
+    for shard_id in range(plan.shard_count):
+        per_point.extend(payloads[shard_id]["records"])
+    context = runner.context_for(plan.experiment, plan.spec, plan.layer_specs)
+    return assemble_result(
+        context,
+        plan.points,
+        per_point,
+        plan.layer_specs,
+        jobs=1,
+        executor="serial",
+    )

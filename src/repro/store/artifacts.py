@@ -1,47 +1,70 @@
-"""Content-addressed on-disk store for compression artifacts.
+"""Content-addressed on-disk store for compression and experiment artifacts.
 
 Deep Compression dominates the wall-clock of every whole-model flow, and its
 output depends only on three things: the dense weight matrix (captured by
 :func:`~repro.compression.pipeline.weights_fingerprint`), the
 :class:`~repro.compression.pipeline.CompressionConfig`, and the PE count the
-result is interleaved over.  The :class:`ArtifactStore` keys one ``.npz``
-file per distinct triple, so a layer is compressed **once per machine**
-instead of once per process: every later
+result is interleaved over.  The :class:`ArtifactStore` keys one file per
+distinct triple, so a layer is compressed **once per machine** instead of
+once per process: every later
 :meth:`~repro.engine.session.Session.compress` — across experiment runs, CLI
 invocations, process-pool workers and CI steps — becomes a load.
 
+The store holds four artifact *kinds*, each in its own subdirectory:
+
+* ``layers`` — per-layer compression output (codebook + per-PE CSC streams),
+  the original and still the hottest kind;
+* ``prepared`` — engine-prepared layer payloads (array bundles keyed by the
+  layer content and the engine's prepare token);
+* ``models`` — whole compressed-model manifests: the per-node layer keys of
+  one :class:`~repro.models.ir.ModelIR` at one PE count, so a warm
+  ``compress_model`` is pure loads;
+* ``shards`` — partial experiment results written by
+  :mod:`repro.shard` workers (one JSON record set per ``(spec, shard_id,
+  shard_count)``), merged back into full results byte-identically.
+
 Guarantees:
 
-* **Bit-identical round trips.**  The serialized payload is the exact
-  codebook and per-PE CSC streams; loading rebuilds the layer through the
-  *validating* constructors, so ``storage_bits``, ``to_dense`` and the per-PE
-  streams are equal to the freshly compressed layer's.
-* **Never half-loaded.**  Writes go to a temporary file in the store
+* **Bit-identical round trips.**  Layer payloads are the exact codebook and
+  per-PE CSC streams; loading rebuilds the layer through the *validating*
+  constructors, so ``storage_bits``, ``to_dense`` and the per-PE streams are
+  equal to the freshly compressed layer's.  JSON artifacts carry a CRC over
+  their payload so silent value corruption is detected on load.
+* **Never half-loaded.**  Writes go to a temporary file in the kind
   directory and are published with one atomic :func:`os.replace`; readers can
   never observe a partially written entry.  Corrupt or truncated entries
   (zip CRC failures, invalid stream invariants, key/format mismatches) are
   detected on load, counted in :meth:`ArtifactStore.stats`, deleted, and
-  reported as a miss — the caller recompresses and overwrites.
+  reported as a miss — the caller recomputes and overwrites.
 * **Concurrency-safe.**  Multiple processes may load and store the same key
   simultaneously; last-writer-wins on identical content is harmless because
   entries are content-addressed.
+* **Bounded (optionally).**  With a ``size_budget_bytes`` the store evicts
+  least-recently-used entries (loads refresh recency) after each publish
+  until it fits the budget.  Eviction is atomic per entry, counted per kind
+  and in the machine-lifetime counters, and never touches entries referenced
+  by an in-flight pin manifest (:meth:`ArtifactStore.pinned`) — a sharded
+  sweep pins its partials so a concurrent writer cannot evict them mid-merge.
 
 The store root defaults to ``$REPRO_STORE_DIR``, falling back to
 ``$XDG_CACHE_HOME/repro-eie/artifacts`` (``~/.cache/repro-eie/artifacts``).
 Setting ``REPRO_STORE=0`` disables the default store everywhere it is wired
 up implicitly (the CLI and the experiment runner); explicitly constructed
-stores are unaffected.
+stores are unaffected.  ``REPRO_STORE_BUDGET_BYTES`` applies a size budget to
+the implicit default store.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 import time
+import zlib
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
@@ -66,6 +89,9 @@ ENV_ROOT = "REPRO_STORE_DIR"
 #: Environment variable disabling the implicit default store (``0``/``false``).
 ENV_ENABLED = "REPRO_STORE"
 
+#: Environment variable applying a size budget (bytes) to the default store.
+ENV_BUDGET = "REPRO_STORE_BUDGET_BYTES"
+
 
 def default_store_root() -> Path:
     """The machine-wide store root (``$REPRO_STORE_DIR`` or the user cache)."""
@@ -84,21 +110,58 @@ def store_enabled() -> bool:
     )
 
 
+def _default_budget() -> int | None:
+    raw = os.environ.get(ENV_BUDGET, "").strip()
+    if not raw:
+        return None
+    try:
+        budget = int(raw)
+    except ValueError:
+        return None
+    return budget if budget > 0 else None
+
+
 def maybe_default_store() -> "ArtifactStore | None":
     """The default :class:`ArtifactStore`, or ``None`` when disabled."""
-    return ArtifactStore(default_store_root()) if store_enabled() else None
+    if not store_enabled():
+        return None
+    return ArtifactStore(default_store_root(), size_budget_bytes=_default_budget())
+
+
+def _records_crc(records: Any) -> int:
+    """CRC32 over the canonical JSON form of a record payload."""
+    return zlib.crc32(json.dumps(records, sort_keys=True).encode())
 
 
 class ArtifactStore:
-    """A content-addressed cache of :class:`CompressedLayer` payloads.
+    """A content-addressed cache of compression and experiment artifacts.
 
     Args:
         root: store directory (created lazily on the first write).
+        size_budget_bytes: optional cap on the total bytes of published
+            entries; exceeding it after a publish evicts least-recently-used
+            unpinned entries until the store fits.
     """
 
-    def __init__(self, root: Path | str) -> None:
+    #: Artifact kinds, each stored under ``<root>/<kind>/``.
+    KINDS = ("layers", "prepared", "models", "shards")
+
+    #: File suffix per kind (array bundles vs JSON records).
+    _SUFFIX = {"layers": ".npz", "prepared": ".npz", "models": ".json", "shards": ".json"}
+
+    #: Per-kind counter names tracked by :meth:`stats`.
+    COUNTERS = ("hits", "misses", "stores", "errors", "evictions")
+
+    def __init__(self, root: Path | str, size_budget_bytes: int | None = None) -> None:
+        if size_budget_bytes is not None and size_budget_bytes < 1:
+            raise ConfigurationError(
+                f"size_budget_bytes must be >= 1, got {size_budget_bytes}"
+            )
         self.root = Path(root)
-        self._stats = {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        self.size_budget_bytes = size_budget_bytes
+        self._stats = {
+            kind: dict.fromkeys(self.COUNTERS, 0) for kind in self.KINDS
+        }
         self._swept = False
 
     # -- keys ------------------------------------------------------------------
@@ -129,10 +192,181 @@ class ArtifactStore:
         )
         return hashlib.sha256(payload.encode()).hexdigest()
 
-    def _layer_path(self, key: str) -> Path:
-        return self.root / "layers" / f"{key}.npz"
+    @staticmethod
+    def content_key(payload: dict) -> str:
+        """Content address of an arbitrary JSON-serializable key payload.
 
-    # -- store / load ----------------------------------------------------------
+        The format version is folded in so a payload-format bump invalidates
+        every old entry of every kind instead of misreading it.
+        """
+        text = json.dumps({**payload, "format": FORMAT_VERSION}, sort_keys=True)
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def _kind_dir(self, kind: str) -> Path:
+        if kind not in self.KINDS:
+            raise ConfigurationError(
+                f"unknown artifact kind {kind!r}; expected one of {', '.join(self.KINDS)}"
+            )
+        return self.root / kind
+
+    def _entry_path(self, kind: str, key: str) -> Path:
+        return self._kind_dir(kind) / f"{key}{self._SUFFIX[kind]}"
+
+    def _layer_path(self, key: str) -> Path:
+        return self._entry_path("layers", key)
+
+    # -- counters --------------------------------------------------------------
+
+    def _count(self, kind: str, counter: str, delta: int = 1) -> None:
+        self._stats[kind][counter] += delta
+
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's recency for the LRU eviction order."""
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    # -- atomic publish --------------------------------------------------------
+
+    def _publish_bytes(self, kind: str, key: str, payload: bytes) -> Path:
+        """Atomically publish raw bytes under ``<kind>/<key>``; may raise OSError."""
+        if not self._swept:
+            # One opportunistic pass per handle: the first write is the
+            # natural moment to collect .tmp files orphaned by crashed
+            # writers (a sweep on every store would just churn the directory).
+            self._swept = True
+            self.sweep_stale_tmp()
+        path = self._entry_path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=f".{key[:16]}.", suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except BaseException:
+            Path(handle.name).unlink(missing_ok=True)
+            raise
+        self._count(kind, "stores")
+        self._bump_lifetime(stored_entries=1)
+        self.evict_to_budget()
+        return path
+
+    # -- JSON artifacts (models, shards) ---------------------------------------
+
+    def store_json(self, kind: str, key: str, payload: dict) -> Path | None:
+        """Publish a JSON artifact under its content address (atomic, CRC'd).
+
+        The stored document wraps ``payload`` with the format version, its
+        own key (so a misplaced file is rejected on load) and a CRC32 over
+        the payload.  Best-effort like every publish: an unwritable root is
+        counted under ``errors`` and reported as ``None``.
+        """
+        document = {
+            "format": FORMAT_VERSION,
+            "key": key,
+            "payload": payload,
+            "crc": _records_crc(payload),
+        }
+        try:
+            # No sort_keys: the payload's insertion order is part of the
+            # contract (shard records must round-trip byte-identically); the
+            # CRC is computed over the canonical sorted form either way.
+            return self._publish_bytes(
+                kind, key, (json.dumps(document) + "\n").encode()
+            )
+        except OSError:
+            self._count(kind, "errors")
+            return None
+
+    def load_json(self, kind: str, key: str) -> dict | None:
+        """Load a JSON artifact, or ``None`` on miss/corruption.
+
+        Any unreadable, unparsable, foreign-keyed or CRC-mismatched entry is
+        treated as corrupt: counted under ``errors``, deleted, and reported
+        as a miss — the caller recomputes that artifact only.
+        """
+        path = self._entry_path(kind, key)
+        if not path.exists():
+            self._count(kind, "misses")
+            return None
+        try:
+            document = json.loads(path.read_text())
+            if not isinstance(document, dict):
+                raise ValueError("not a JSON object")
+            if document.get("format") != FORMAT_VERSION or document.get("key") != key:
+                raise ValueError("stale or foreign key")
+            payload = document["payload"]
+            if _records_crc(payload) != document.get("crc"):
+                raise ValueError("payload CRC mismatch")
+        except Exception:
+            self._count(kind, "errors")
+            self._count(kind, "misses")
+            self._bump_lifetime(corrupt_entries=1)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass  # read-only filesystem: leave the corrupt entry in place
+            return None
+        self._count(kind, "hits")
+        self._touch(path)
+        return payload
+
+    # -- array artifacts (prepared layers) -------------------------------------
+
+    def store_arrays(
+        self, kind: str, key: str, meta: dict, arrays: dict[str, np.ndarray]
+    ) -> Path | None:
+        """Publish a bundle of named arrays plus JSON metadata (atomic)."""
+        meta = {"format": FORMAT_VERSION, "key": key, **meta}
+        try:
+            import io
+
+            buffer = io.BytesIO()
+            np.savez(
+                buffer,
+                meta=np.frombuffer(
+                    json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+                ),
+                **arrays,
+            )
+            return self._publish_bytes(kind, key, buffer.getvalue())
+        except OSError:
+            self._count(kind, "errors")
+            return None
+
+    def load_arrays(self, kind: str, key: str) -> tuple[dict, dict[str, np.ndarray]] | None:
+        """Load an array bundle, or ``None`` on miss/corruption."""
+        path = self._entry_path(kind, key)
+        if not path.exists():
+            self._count(kind, "misses")
+            return None
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta"]).decode())
+                if meta.get("format") != FORMAT_VERSION or meta.get("key") != key:
+                    raise ValueError("stale or foreign key")
+                arrays = {
+                    name: np.asarray(archive[name])
+                    for name in archive.files
+                    if name != "meta"
+                }
+        except Exception:
+            self._count(kind, "errors")
+            self._count(kind, "misses")
+            self._bump_lifetime(corrupt_entries=1)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        self._count(kind, "hits")
+        self._touch(path)
+        return meta, arrays
+
+    # -- layer store / load ----------------------------------------------------
 
     def store_layer(
         self,
@@ -149,31 +383,21 @@ class ArtifactStore:
         counted under ``errors`` and reported as ``None``; the caller keeps
         its freshly compressed layer either way.
         """
-        if not self._swept:
-            # One opportunistic pass per handle: the first write is the
-            # natural moment to collect .tmp files orphaned by crashed
-            # writers (a sweep on every store would just churn the directory).
-            self._swept = True
-            self.sweep_stale_tmp()
         key = self.layer_key(fingerprint, num_pes, config)
-        path = self._layer_path(key)
         try:
-            return self._publish_layer(key, path, fingerprint, num_pes, config, layer)
+            return self._publish_layer(key, fingerprint, num_pes, config, layer)
         except OSError:
-            self._stats["errors"] += 1
+            self._count("layers", "errors")
             return None
 
     def _publish_layer(
         self,
         key: str,
-        path: Path,
         fingerprint: str,
         num_pes: int,
         config: CompressionConfig,
         layer: CompressedLayer,
     ) -> Path:
-        path.parent.mkdir(parents=True, exist_ok=True)
-
         per_pe = layer.storage.per_pe
         values = (
             np.concatenate([matrix.values for matrix in per_pe])
@@ -216,32 +440,24 @@ class ArtifactStore:
             "metadata": dict(layer.metadata),
         }
 
-        handle = tempfile.NamedTemporaryFile(
-            dir=path.parent, prefix=f".{key}.", suffix=".tmp", delete=False
+        import io
+
+        buffer = io.BytesIO()
+        # Uncompressed: the streams are already downcast to compact
+        # dtypes, and a warm hit must stay a fast mmap-friendly read
+        # (zlib would cost seconds on a paper-scale layer).
+        np.savez(
+            buffer,
+            meta=np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+            centroids=layer.codebook.centroids,
+            values=values,
+            runs=runs,
+            col_ptrs=col_ptrs,
+            entries_per_pe=entries_per_pe,
         )
-        try:
-            with handle:
-                # Uncompressed: the streams are already downcast to compact
-                # dtypes, and a warm hit must stay a fast mmap-friendly read
-                # (zlib would cost seconds on a paper-scale layer).
-                np.savez(
-                    handle,
-                    meta=np.frombuffer(
-                        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
-                    ),
-                    centroids=layer.codebook.centroids,
-                    values=values,
-                    runs=runs,
-                    col_ptrs=col_ptrs,
-                    entries_per_pe=entries_per_pe,
-                )
-            os.replace(handle.name, path)
-        except BaseException:
-            Path(handle.name).unlink(missing_ok=True)
-            raise
-        self._stats["stores"] += 1
-        self._bump_lifetime(stored_entries=1)
-        return path
+        return self._publish_bytes("layers", key, buffer.getvalue())
 
     def load_layer(
         self,
@@ -261,22 +477,29 @@ class ArtifactStore:
         counted under ``errors``, deleted, and reported as a miss.
         """
         key = self.layer_key(fingerprint, num_pes, config)
+        return self.load_layer_by_key(key, name=name, activation_name=activation_name)
+
+    def load_layer_by_key(
+        self, key: str, name: str = "layer", activation_name: str = "relu"
+    ) -> CompressedLayer | None:
+        """Load a layer directly by its content key (manifest-driven loads)."""
         path = self._layer_path(key)
         if not path.exists():
-            self._stats["misses"] += 1
+            self._count("layers", "misses")
             return None
         try:
             layer = self._read_layer(path, key, name, activation_name)
         except Exception:
-            self._stats["errors"] += 1
-            self._stats["misses"] += 1
+            self._count("layers", "errors")
+            self._count("layers", "misses")
             self._bump_lifetime(corrupt_entries=1)
             try:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass  # read-only filesystem: leave the corrupt entry in place
             return None
-        self._stats["hits"] += 1
+        self._count("layers", "hits")
+        self._touch(path)
         return layer
 
     def _read_layer(
@@ -327,24 +550,163 @@ class ArtifactStore:
             metadata=dict(meta.get("metadata", {})),
         )
 
+    # -- pin manifests ---------------------------------------------------------
+
+    #: Pin manifests older than this are presumed abandoned and ignored.
+    PIN_TTL_SECONDS = 3600.0
+
+    def _pins_dir(self) -> Path:
+        return self.root / "pins"
+
+    def pin(self, name: str, paths: Iterable[Path | str]) -> Path | None:
+        """Write an in-flight manifest protecting ``paths`` from eviction.
+
+        ``name`` identifies the manifest (one per sharded run or merge);
+        ``paths`` are store entry paths (absolute or root-relative).  Pins
+        are advisory and time-bounded (:data:`PIN_TTL_SECONDS`): a crashed
+        pinner cannot exempt entries from eviction forever.
+        """
+        relative = []
+        for path in paths:
+            path = Path(path)
+            if path.is_absolute():
+                try:
+                    path = path.relative_to(self.root)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"pinned path {path} is outside the store root {self.root}"
+                    ) from None
+            relative.append(path.as_posix())
+        document = {"created": time.time(), "paths": sorted(relative)}
+        target = self._pins_dir() / f"{name}.json"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                dir=target.parent, prefix=f".{name}.", suffix=".tmp",
+                delete=False, mode="w",
+            )
+            with handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(handle.name, target)
+        except OSError:
+            return None
+        return target
+
+    def unpin(self, name: str) -> None:
+        """Remove the pin manifest ``name`` (missing manifests are fine)."""
+        try:
+            (self._pins_dir() / f"{name}.json").unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    @contextlib.contextmanager
+    def pinned(self, name: str, paths: Iterable[Path | str]) -> Iterator[None]:
+        """Context manager: pin ``paths`` for the duration of the block."""
+        self.pin(name, paths)
+        try:
+            yield
+        finally:
+            self.unpin(name)
+
+    def pinned_paths(self) -> set[Path]:
+        """Absolute paths protected by live (non-expired) pin manifests."""
+        pins = self._pins_dir()
+        if not pins.is_dir():
+            return set()
+        protected: set[Path] = set()
+        now = time.time()
+        for manifest in pins.glob("*.json"):
+            try:
+                document = json.loads(manifest.read_text())
+                created = float(document.get("created", 0.0))
+                paths = document.get("paths", [])
+            except (OSError, ValueError):
+                continue
+            if now - created > self.PIN_TTL_SECONDS:
+                continue
+            for entry in paths:
+                if isinstance(entry, str):
+                    protected.add(self.root / entry)
+        return protected
+
+    # -- eviction --------------------------------------------------------------
+
+    def evict_to_budget(self, budget_bytes: int | None = None) -> int:
+        """Evict least-recently-used unpinned entries down to the budget.
+
+        Returns how many entries were removed.  A ``None`` budget (and no
+        configured ``size_budget_bytes``) is a no-op.  Recency is the entry
+        file's mtime — every load refreshes it — so the oldest *unused*
+        entries go first; pinned entries (and entries that vanish
+        concurrently) are skipped.  Each unlink is atomic and counted, so a
+        reader that already opened the file keeps its snapshot and a
+        concurrent loader sees a clean miss.
+        """
+        budget = self.size_budget_bytes if budget_bytes is None else budget_bytes
+        if budget is None:
+            return 0
+        entries: list[tuple[float, Path, int, str]] = []
+        total = 0
+        for kind in self.KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.glob(f"*{self._SUFFIX[kind]}"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, path, stat.st_size, kind))
+                total += stat.st_size
+        if total <= budget:
+            return 0
+        pinned = self.pinned_paths()
+        removed = 0
+        for _mtime, path, size, kind in sorted(entries, key=lambda e: (e[0], str(e[1]))):
+            if total <= budget:
+                break
+            if path in pinned:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            self._count(kind, "evictions")
+        if removed:
+            self._bump_lifetime(evicted_entries=removed)
+        return removed
+
     # -- maintenance / introspection -------------------------------------------
 
-    def entries(self) -> list[Path]:
-        """Paths of every published store entry."""
-        layers = self.root / "layers"
-        if not layers.is_dir():
-            return []
-        return sorted(path for path in layers.glob("*.npz"))
+    def entries(self, kind: str | None = None) -> list[Path]:
+        """Paths of every published store entry (optionally of one kind)."""
+        kinds = self.KINDS if kind is None else (kind,)
+        found: list[Path] = []
+        for which in kinds:
+            directory = self._kind_dir(which)
+            if directory.is_dir():
+                found.extend(directory.glob(f"*{self._SUFFIX[which]}"))
+        return sorted(found)
 
     def size_bytes(self) -> int:
         """Total bytes held by published entries."""
-        return sum(path.stat().st_size for path in self.entries())
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     #: Temp files younger than this are presumed in-flight and left alone.
     STALE_TMP_SECONDS = 3600.0
 
     #: Lifetime counter names persisted in ``<root>/counters.json``.
-    LIFETIME_COUNTERS = ("stored_entries", "corrupt_entries", "swept_tmp_files")
+    LIFETIME_COUNTERS = (
+        "stored_entries", "corrupt_entries", "swept_tmp_files", "evicted_entries",
+    )
 
     def sweep_stale_tmp(self, max_age_s: float | None = None) -> int:
         """Delete abandoned ``.tmp`` files; returns how many were removed.
@@ -352,16 +714,19 @@ class ArtifactStore:
         Temp files are only swept when they are clearly abandoned (older
         than ``max_age_s``, default :data:`STALE_TMP_SECONDS`): a fresh
         ``.tmp`` may belong to a writer mid-publish in another process, and
-        deleting it would make that writer's atomic rename fail.  Runs
-        opportunistically on each handle's first :meth:`store_layer` and on
-        demand via ``repro cache sweep``.
+        deleting it would make that writer's atomic rename fail.  Expired
+        pin manifests are collected on the same pass.  Runs opportunistically
+        on each handle's first publish and on demand via ``repro cache
+        sweep``.
         """
         max_age = self.STALE_TMP_SECONDS if max_age_s is None else float(max_age_s)
         removed = 0
-        layers = self.root / "layers"
-        if layers.is_dir():
-            now = time.time()
-            for path in layers.iterdir():
+        now = time.time()
+        for kind in self.KINDS:
+            directory = self.root / kind
+            if not directory.is_dir():
+                continue
+            for path in directory.iterdir():
                 if path.suffix != ".tmp":
                     continue
                 try:
@@ -374,25 +739,56 @@ class ArtifactStore:
                     except OSError:
                         continue
                     removed += 1
+        pins = self._pins_dir()
+        if pins.is_dir():
+            for manifest in pins.iterdir():
+                try:
+                    expired = now - manifest.stat().st_mtime > self.PIN_TTL_SECONDS
+                except OSError:
+                    continue
+                if expired or manifest.suffix == ".tmp":
+                    try:
+                        manifest.unlink(missing_ok=True)
+                    except OSError:
+                        continue
         if removed:
             self._bump_lifetime(swept_tmp_files=removed)
         return removed
 
-    def clear(self) -> int:
+    def clear(self, kind: str | None = None) -> int:
         """Delete every entry (and stale temp files); returns entries removed."""
         removed = 0
-        layers = self.root / "layers"
-        if layers.is_dir():
-            for path in layers.iterdir():
-                if path.suffix == ".npz":
-                    path.unlink(missing_ok=True)
-                    removed += 1
+        for path in self.entries(kind):
+            path.unlink(missing_ok=True)
+            removed += 1
         self.sweep_stale_tmp()
         return removed
 
-    def stats(self) -> dict[str, int]:
-        """Hit/miss/store/error counters for this process's store handle."""
-        return dict(self._stats)
+    def stats(self) -> dict[str, Any]:
+        """Counters for this process's store handle.
+
+        The aggregate ``hits``/``misses``/``stores``/``errors``/``evictions``
+        keys sum over every artifact kind; ``by_kind`` breaks the same
+        counters down per kind (layers vs prepared vs models vs shards), so
+        a sharded run can show *where* the store saved work.
+        """
+        aggregate = dict.fromkeys(self.COUNTERS, 0)
+        for counters in self._stats.values():
+            for name, value in counters.items():
+                aggregate[name] += value
+        aggregate["by_kind"] = {
+            kind: dict(counters) for kind, counters in self._stats.items()
+        }
+        return aggregate
+
+    @classmethod
+    def zero_stats(cls) -> dict[str, Any]:
+        """The all-zero shape of :meth:`stats` (sessions without a store)."""
+        zero = dict.fromkeys(cls.COUNTERS, 0)
+        zero["by_kind"] = {
+            kind: dict.fromkeys(cls.COUNTERS, 0) for kind in cls.KINDS
+        }
+        return zero
 
     def _bump_lifetime(self, **deltas: int) -> None:
         """Best-effort read-modify-write of the persistent counters.
@@ -421,10 +817,11 @@ class ArtifactStore:
     def lifetime_counters(self) -> dict[str, int]:
         """Machine-lifetime counters persisted across processes.
 
-        ``stored_entries`` counts every publish (first compressions and
-        post-corruption recompressions alike), ``corrupt_entries`` every
-        entry rejected and deleted on load, ``swept_tmp_files`` every
-        orphaned temp file collected.
+        ``stored_entries`` counts every publish (first computations and
+        post-corruption recomputes alike), ``corrupt_entries`` every entry
+        rejected and deleted on load, ``swept_tmp_files`` every orphaned
+        temp file collected, ``evicted_entries`` every entry removed by the
+        size-budget LRU policy.
         """
         counters = dict.fromkeys(self.LIFETIME_COUNTERS, 0)
         try:
@@ -439,11 +836,26 @@ class ArtifactStore:
 
     def describe(self) -> dict[str, Any]:
         """A JSON-friendly summary (CLI ``cache info``)."""
-        entries = self.entries()
+        by_kind = {}
+        total_entries = 0
+        total_bytes = 0
+        for kind in self.KINDS:
+            paths = self.entries(kind)
+            size = 0
+            for path in paths:
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+            by_kind[kind] = {"entries": len(paths), "size_bytes": size}
+            total_entries += len(paths)
+            total_bytes += size
         return {
             "root": str(self.root),
-            "entries": len(entries),
-            "size_bytes": sum(path.stat().st_size for path in entries),
+            "entries": total_entries,
+            "size_bytes": total_bytes,
+            "size_budget_bytes": self.size_budget_bytes,
+            "kinds": by_kind,
             "format": FORMAT_VERSION,
             **self.stats(),
             "lifetime": self.lifetime_counters(),

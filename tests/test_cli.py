@@ -433,3 +433,140 @@ class TestServeCli:
                 "--scale", "64", "--pes", "8", "--model", "vgg_fc",
                 "--requests", "5", "--no-store",
             ])
+
+    def test_serve_bench_closed_loop_flag_parses(self):
+        args = build_parser().parse_args([
+            "serve", "bench", "--requests", "10", "--closed-loop", "4",
+        ])
+        assert args.closed_loop == 4
+        args = build_parser().parse_args(["serve", "bench", "--requests", "10"])
+        assert args.closed_loop is None
+
+    def test_serve_bench_closed_loop_in_process_with_verify(self, capsys):
+        assert main([
+            "serve", "bench", "--models", "neuraltalk_lstm",
+            "--scale", "64", "--pes", "8", "--closed-loop", "4",
+            "--requests", "16", "--no-store", "--verify",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop serving benchmark" in out
+        assert "Workers" in out
+        assert "bit-identical to the offline run_model path" in out
+
+    def test_serve_bench_rejects_bad_closed_loop(self):
+        with pytest.raises(SystemExit, match="closed-loop"):
+            main([
+                "serve", "bench", "--models", "neuraltalk_lstm",
+                "--scale", "64", "--requests", "5",
+                "--closed-loop", "0", "--no-store",
+            ])
+
+
+SHARD_ARGV = [
+    "--set", "scale=64", "--set", "workloads=Alex-7",
+    "--set", "grid.fifo_depth=[1,8]", "--set", "config.num_pes=16",
+]
+
+
+class TestShardCli:
+    def test_shard_flags_parse(self):
+        args = build_parser().parse_args([
+            "experiment", "run", "fig8_fifo_depth",
+            "--shard-id", "2", "--shard-count", "4",
+        ])
+        assert (args.shard_id, args.shard_count) == (2, 4)
+        args = build_parser().parse_args([
+            "experiment", "merge", "fig8_fifo_depth", "--shard-count", "4",
+        ])
+        assert args.experiment_command == "merge"
+        assert args.shard_count == 4
+        args = build_parser().parse_args([
+            "shard", "plan", "fig8_fifo_depth", "--shard-count", "3",
+        ])
+        assert args.command == "shard" and args.shard_command == "plan"
+
+    def test_bad_shard_id_exits_2_with_typed_message(self, capsys, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main([
+            "experiment", "run", "fig8_fifo_depth", *SHARD_ARGV,
+            "--shard-id", "5", "--shard-count", "3",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "shard id must satisfy 0 <= id < 3" in err
+
+    def test_half_given_coordinates_exit_2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main([
+            "experiment", "run", "fig8_fifo_depth", *SHARD_ARGV, "--shard-id", "0",
+        ]) == 2
+        assert "give both or neither" in capsys.readouterr().err
+
+    def test_bad_shard_count_exits_2(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main([
+            "shard", "plan", "fig8_fifo_depth", *SHARD_ARGV, "--shard-count", "0",
+        ]) == 2
+        assert "shard count must be >= 1" in capsys.readouterr().err
+
+    def test_merge_without_partials_no_recompute_exits_2(self, capsys, tmp_path,
+                                                         monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main([
+            "experiment", "merge", "fig8_fifo_depth", *SHARD_ARGV,
+            "--shard-count", "3", "--no-recompute",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "absent from the store" in err
+
+    def test_shard_commands_need_an_enabled_store(self, capsys, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        monkeypatch.setenv("REPRO_STORE", "0")
+        assert main([
+            "experiment", "run", "fig8_fifo_depth", *SHARD_ARGV,
+            "--shard-id", "0", "--shard-count", "2",
+        ]) == 2
+        assert "store" in capsys.readouterr().err
+
+    def test_shard_run_merge_matches_serial_output(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main(["experiment", "run", "fig8_fifo_depth", *SHARD_ARGV]) == 0
+        serial = capsys.readouterr().out
+        for shard_id in range(3):
+            assert main([
+                "experiment", "run", "fig8_fifo_depth", *SHARD_ARGV,
+                "--shard-id", str(shard_id), "--shard-count", "3",
+            ]) == 0
+            capsys.readouterr()
+        assert main([
+            "experiment", "merge", "fig8_fifo_depth", *SHARD_ARGV,
+            "--shard-count", "3",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial
+        assert "3 shard hits, 0 recomputed" in captured.err
+
+    def test_shard_plan_and_status_render(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        assert main([
+            "shard", "plan", "fig8_fifo_depth", *SHARD_ARGV, "--shard-count", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 points over 2 shards" in out and "In store" in out
+        assert main([
+            "shard", "status", "fig8_fifo_depth", *SHARD_ARGV, "--shard-count", "2",
+        ]) == 0
+        assert "0/2 shards" in capsys.readouterr().out
+
+    def test_cache_info_shows_budget_and_kind_breakdown(self, capsys, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        monkeypatch.setenv("REPRO_STORE_BUDGET_BYTES", "8192")
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "Size budget (KiB)" in out and "8.0" in out
+        assert "Per artifact kind" in out
+        for kind in ("layers", "prepared", "models", "shards"):
+            assert kind in out

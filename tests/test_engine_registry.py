@@ -214,7 +214,9 @@ class TestSession:
         assert engine_stats == {"entries": 0, "hits": 0, "by_engine": {}}
         assert all(cache == {"entries": 0, "hits": 0} for cache in info.values())
         # No artifact store attached: its counters are permanently zero.
-        assert store_stats == {"hits": 0, "misses": 0, "stores": 0, "errors": 0}
+        from repro.store.artifacts import ArtifactStore
+
+        assert store_stats == ArtifactStore.zero_stats()
 
     def test_compression_config_respected(self, rng):
         weights = rng.normal(size=(32, 40))

@@ -1,0 +1,97 @@
+"""Tests for the dse_pareto design-space sweep and its Pareto finalization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentRegistry, run_experiment
+from repro.experiments.dse_catalog import PARETO_AXES, _mark_pareto
+from repro.shard import merge_shards, plan_shards, run_shard
+from repro.store import ArtifactStore
+
+SMALL = [
+    ("params.rows", 96),
+    ("params.cols", 96),
+    ("grid.num_pes", [4, 16]),
+    ("grid.density", [0.05, 0.2]),
+    ("grid.width_bits", [64]),
+    ("grid.scheme", ["none", "secded"]),
+]
+
+
+def _small_spec():
+    return ExperimentRegistry.get("dse_pareto").spec.with_overrides(SMALL)
+
+
+class TestRegistration:
+    def test_registered_with_the_full_grid(self):
+        experiment = ExperimentRegistry.get("dse_pareto")
+        grid = experiment.spec.grid
+        points = 1
+        for axis in ("num_pes", "density", "width_bits", "scheme"):
+            points *= len(grid[axis])
+        assert points == 1008
+        assert not experiment.uses_workloads
+
+
+class TestParetoMarking:
+    def test_dominated_points_are_unmarked(self):
+        records = [
+            {axis: 1.0 for axis in PARETO_AXES},           # dominates everything
+            {axis: 2.0 for axis in PARETO_AXES},           # strictly dominated
+            {PARETO_AXES[0]: 0.5, PARETO_AXES[1]: 3.0, PARETO_AXES[2]: 3.0},
+        ]
+        marked = _mark_pareto(None, records)
+        assert [record["pareto"] for record in marked] == [True, False, True]
+
+    def test_marking_preserves_order_and_records(self):
+        records = [
+            {PARETO_AXES[0]: float(i), PARETO_AXES[1]: float(-i),
+             PARETO_AXES[2]: 1.0, "tag": i}
+            for i in range(5)
+        ]
+        marked = _mark_pareto(None, records)
+        assert [record["tag"] for record in marked] == [0, 1, 2, 3, 4]
+        # A latency/energy trade: every point survives.
+        assert all(record["pareto"] for record in marked)
+
+
+class TestSmallSweep:
+    def test_smoke_run_marks_a_nonempty_frontier(self):
+        result = run_experiment(_small_spec())
+        assert len(result.records) == 8
+        frontier = [record for record in result.records if record["pareto"]]
+        assert 1 <= len(frontier) <= 8
+        record = result.records[0]
+        assert record["cycles"] > 0 and record["total_energy_nj"] > 0
+        assert record["storage_kib"] > 0
+        # secded stores more bits than no ECC for the same point.
+        by_scheme = {
+            (r["num_pes"], r["density"], r["scheme"]): r["storage_kib"]
+            for r in result.records
+        }
+        assert by_scheme[(4, 0.05, "secded")] > by_scheme[(4, 0.05, "none")]
+        table = result.to_table()
+        assert "Pareto frontier" in table
+
+    def test_sharded_sweep_merges_byte_identical(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _small_spec()
+        plan = plan_shards(spec, shard_count=4)
+        for shard_id in range(4):
+            run_shard(plan, shard_id, store)
+        merged = merge_shards(plan, store)
+        serial = run_experiment(spec)
+        assert merged.to_json() == serial.to_json()
+        assert merged.to_table() == serial.to_table()
+
+    def test_more_pes_never_slower(self):
+        result = run_experiment(_small_spec())
+        cycles = {
+            (r["num_pes"], r["density"]): r["cycles"]
+            for r in result.records
+            if r["scheme"] == "none"
+        }
+        for density in (0.05, 0.2):
+            assert cycles[(16, density)] <= cycles[(4, density)]

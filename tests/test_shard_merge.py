@@ -1,0 +1,165 @@
+"""Tests for shard execution and merge: byte-identity, recompute, errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ShardMergeError
+from repro.experiments import ExperimentRegistry, ExperimentRunner
+from repro.shard import merge_shards, plan_shards, run_shard
+from repro.store import ArtifactStore
+
+SMALL = [
+    ("scale", 64),
+    ("workloads", ["Alex-7", "NT-We"]),
+    ("grid.fifo_depth", [1, 4, 8]),
+    ("config.num_pes", 16),
+]
+
+
+def _small_spec():
+    return ExperimentRegistry.get("fig8_fifo_depth").spec.with_overrides(SMALL)
+
+
+def _run_all_shards(plan, store):
+    for shard_id in range(plan.shard_count):
+        run_shard(plan, shard_id, store)
+
+
+class TestRunShard:
+    def test_executes_and_publishes_partial(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        summary = run_shard(plan, 0, store)
+        assert summary["cached"] is False
+        assert summary["points"] == len(plan.ranges[0])
+        payload = store.load_json("shards", summary["key"])
+        assert payload["shard_id"] == 0 and payload["shard_count"] == 3
+        assert len(payload["records"]) == summary["points"]
+
+    def test_second_run_is_a_store_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        run_shard(plan, 1, store)
+        fresh = ArtifactStore(tmp_path / "store")
+        summary = run_shard(plan, 1, fresh)
+        assert summary["cached"] is True
+        assert fresh.stats()["by_kind"]["shards"]["hits"] == 1
+        assert fresh.stats()["by_kind"]["shards"]["stores"] == 0
+
+    def test_force_recomputes_despite_cache(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        run_shard(plan, 1, store)
+        summary = run_shard(plan, 1, store, force=True)
+        assert summary["cached"] is False
+        assert store.stats()["by_kind"]["shards"]["stores"] == 2
+
+
+class TestMergeByteIdentity:
+    def test_merged_result_identical_to_serial_run(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _small_spec()
+        plan = plan_shards(spec, shard_count=3)
+        _run_all_shards(plan, store)
+        merged = merge_shards(plan, store)
+        serial = ExperimentRunner().run(spec)
+        assert merged.to_json() == serial.to_json()
+        assert merged.to_table() == serial.to_table()
+
+    def test_uneven_and_empty_shards_merge_identically(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        spec = _small_spec()
+        # 6 points over 8 shards: two-point heads, empty trailers.
+        plan = plan_shards(spec, shard_count=8)
+        assert any(len(r) == 0 for r in plan.ranges)
+        _run_all_shards(plan, store)
+        merged = merge_shards(plan, store)
+        assert merged.to_json() == ExperimentRunner().run(spec).to_json()
+
+    def test_merge_from_cached_shards_recomputes_nothing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        _run_all_shards(plan, store)
+        fresh = ArtifactStore(tmp_path / "store")
+        merge_shards(plan, fresh)
+        shard_stats = fresh.stats()["by_kind"]["shards"]
+        assert shard_stats["hits"] == 3
+        assert shard_stats["misses"] == 0 and shard_stats["stores"] == 0
+
+
+class TestMergeRepairsGaps:
+    def test_missing_shard_recomputed_individually(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        run_shard(plan, 0, store)
+        run_shard(plan, 2, store)  # shard 1 never ran
+        fresh = ArtifactStore(tmp_path / "store")
+        merged = merge_shards(plan, fresh)
+        shard_stats = fresh.stats()["by_kind"]["shards"]
+        assert shard_stats["stores"] == 1  # only the gap was recomputed
+        assert shard_stats["misses"] == 1
+        # Two partials served from the store + the reload of the repaired one.
+        assert shard_stats["hits"] == 3
+        assert merged.to_json() == ExperimentRunner().run(_small_spec()).to_json()
+
+    def test_corrupted_partial_recomputed_that_shard_only(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        _run_all_shards(plan, store)
+        # Flip a payload byte: the CRC check must reject the artifact.
+        victim = store._entry_path("shards", plan.shard_key(1))
+        text = victim.read_text()
+        victim.write_text(text.replace('"records"', '"recordz"', 1))
+        fresh = ArtifactStore(tmp_path / "store")
+        merged = merge_shards(plan, fresh)
+        shard_stats = fresh.stats()["by_kind"]["shards"]
+        assert shard_stats["stores"] == 1  # only the corrupt shard re-ran
+        assert shard_stats["errors"] == 1
+        assert merged.to_json() == ExperimentRunner().run(_small_spec()).to_json()
+
+    def test_no_recompute_raises_typed_error_listing_missing_ids(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        run_shard(plan, 0, store)
+        with pytest.raises(ShardMergeError) as excinfo:
+            merge_shards(plan, store, recompute=False)
+        assert excinfo.value.missing == (1, 2)
+
+    def test_conflicting_payload_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=3)
+        _run_all_shards(plan, store)
+        # Rewrite shard 2 with a point range that does not tile the plan —
+        # valid JSON and CRC, but logically overlapping shard 1's chunk.
+        key = plan.shard_key(2)
+        payload = store.load_json("shards", key)
+        payload["start"] -= 1
+        store.store_json("shards", key, payload)
+        with pytest.raises(ShardMergeError) as excinfo:
+            merge_shards(plan, store)
+        assert excinfo.value.overlapping == (2,)
+
+    def test_stale_format_rejected_not_silently_merged(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=2)
+        _run_all_shards(plan, store)
+        key = plan.shard_key(0)
+        payload = store.load_json("shards", key)
+        payload["shard_format"] = 999
+        store.store_json("shards", key, payload)
+        with pytest.raises(ShardMergeError):
+            merge_shards(plan, store)
+
+
+class TestMergeJson:
+    def test_merged_json_has_no_volatile_metadata(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        plan = plan_shards(_small_spec(), shard_count=2)
+        _run_all_shards(plan, store)
+        document = json.loads(merge_shards(plan, store).to_json())
+        assert "duration_s" not in document["metadata"]
+        assert "jobs" not in document["metadata"]
+        assert document["metadata"]["points"] == len(plan.points)

@@ -142,7 +142,13 @@ class TestSessionIntegration:
         cold = Session(config, store=store)
         layer = cold.compress(weights, num_pes=8, name="fc")
         info = cold.cache_info()
-        assert info["store"] == {"hits": 0, "misses": 1, "stores": 1, "errors": 0}
+        assert info["store"]["hits"] == 0
+        assert info["store"]["misses"] == 1
+        assert info["store"]["stores"] == 1
+        assert info["store"]["errors"] == 0
+        # The aggregate counters break down per artifact kind.
+        assert info["store"]["by_kind"]["layers"]["stores"] == 1
+        assert info["store"]["by_kind"]["models"]["stores"] == 0
 
         warm_store = ArtifactStore(tmp_path)
         warm = Session(config, store=warm_store)
@@ -161,9 +167,7 @@ class TestSessionIntegration:
     def test_session_without_store_reports_zero_stats(self, weights, config):
         session = Session(config)
         session.compress(weights, num_pes=8)
-        assert session.cache_info()["store"] == {
-            "hits": 0, "misses": 0, "stores": 0, "errors": 0,
-        }
+        assert session.cache_info()["store"] == ArtifactStore.zero_stats()
 
     def test_store_describe_and_size(self, tmp_path, weights, config):
         store = ArtifactStore(tmp_path)

@@ -1,0 +1,191 @@
+"""Tests for the artifact store's size-budgeted LRU eviction and pinning."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.store import ArtifactStore
+
+
+def _fill(store, count, kind="shards", size=200, prefix="entry"):
+    """Publish ``count`` JSON entries of roughly ``size`` bytes each."""
+    keys = []
+    for index in range(count):
+        key = ArtifactStore.content_key({"test": prefix, "index": index})
+        store.store_json(kind, key, {"index": index, "pad": "x" * size})
+        keys.append(key)
+    return keys
+
+
+def _set_mtimes(store, keys, kind="shards"):
+    """Give entries strictly increasing mtimes in ``keys`` order."""
+    base = time.time() - 1000.0
+    for offset, key in enumerate(keys):
+        path = store._entry_path(kind, key)
+        os.utime(path, (base + offset, base + offset))
+
+
+class TestBudgetPolicy:
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        _fill(store, 5)
+        assert store.evict_to_budget() == 0
+        assert len(store.entries("shards")) == 5
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ArtifactStore(tmp_path / "store", size_budget_bytes=0)
+
+    def test_publish_evicts_down_to_budget(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        keys = _fill(store, 5)
+        _set_mtimes(store, keys)
+        entry_size = store._entry_path("shards", keys[0]).stat().st_size
+        store.size_budget_bytes = 2 * entry_size + entry_size // 2
+        removed = store.evict_to_budget()
+        assert removed == 3
+        assert store.size_bytes() <= store.size_budget_bytes
+        # The two *newest* entries survive.
+        survivors = {path.stem for path in store.entries("shards")}
+        assert survivors == set(keys[-2:])
+
+    def test_oldest_unused_goes_first_and_loads_refresh_recency(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        keys = _fill(store, 4)
+        _set_mtimes(store, keys)
+        # Touch the oldest entry through a load: it must now outlive newer,
+        # never-read entries.
+        assert store.load_json("shards", keys[0]) is not None
+        entry_size = store._entry_path("shards", keys[0]).stat().st_size
+        store.evict_to_budget(2 * entry_size + entry_size // 2)
+        survivors = {path.stem for path in store.entries("shards")}
+        assert keys[0] in survivors
+        assert keys[1] not in survivors
+
+    def test_eviction_counted_per_kind_and_in_lifetime(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        keys = _fill(store, 3)
+        _set_mtimes(store, keys)
+        removed = store.evict_to_budget(1)
+        assert removed == 3
+        stats = store.stats()
+        assert stats["evictions"] == 3
+        assert stats["by_kind"]["shards"]["evictions"] == 3
+        assert stats["by_kind"]["layers"]["evictions"] == 0
+        assert store.lifetime_counters()["evicted_entries"] == 3
+
+    def test_evicted_entry_reloads_as_clean_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        keys = _fill(store, 2)
+        _set_mtimes(store, keys)
+        store.evict_to_budget(1)
+        assert store.load_json("shards", keys[0]) is None
+        assert store.load_json("shards", keys[1]) is None
+        assert store.stats()["by_kind"]["shards"]["misses"] == 2
+        # Eviction is not corruption: nothing was rejected on load.
+        assert store.stats()["by_kind"]["shards"]["errors"] == 0
+
+    def test_budget_spans_every_kind(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        shard_keys = _fill(store, 2, kind="shards", prefix="s")
+        model_keys = _fill(store, 2, kind="models", prefix="m")
+        _set_mtimes(store, shard_keys, kind="shards")
+        base = time.time() - 500.0  # models are strictly newer than shards
+        for offset, key in enumerate(model_keys):
+            path = store._entry_path("models", key)
+            os.utime(path, (base + offset, base + offset))
+        entry_size = store._entry_path("models", model_keys[0]).stat().st_size
+        store.evict_to_budget(2 * entry_size + entry_size // 2)
+        assert len(store.entries("shards")) == 0
+        assert len(store.entries("models")) == 2
+
+
+class TestPinning:
+    def test_pinned_entries_survive_eviction(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        keys = _fill(store, 4)
+        _set_mtimes(store, keys)
+        paths = [store._entry_path("shards", key) for key in keys[:3]]
+        with store.pinned("test-pin", paths):
+            removed = store.evict_to_budget(1)
+            assert removed == 1  # only the unpinned entry went
+            survivors = {path.stem for path in store.entries("shards")}
+            assert survivors == set(keys[:3])
+        # After unpin the rest are fair game.
+        assert store.evict_to_budget(1) == 3
+
+    def test_expired_pins_do_not_protect(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "store")
+        keys = _fill(store, 2)
+        _set_mtimes(store, keys)
+        store.pin("stale-pin", [store._entry_path("shards", key) for key in keys])
+        monkeypatch.setattr(ArtifactStore, "PIN_TTL_SECONDS", 0.0)
+        assert store.pinned_paths() == set()
+        assert store.evict_to_budget(1) == 2
+
+    def test_pin_outside_root_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(ConfigurationError, match="outside the store root"):
+            store.pin("bad", ["/somewhere/else/entry.json"])
+
+    def test_unpin_missing_manifest_is_fine(self, tmp_path):
+        ArtifactStore(tmp_path / "store").unpin("never-existed")
+
+
+class TestConcurrentWriters:
+    def test_threaded_writers_under_budget_pressure(self, tmp_path):
+        """Many writers on one root with a tight budget: no exceptions, the
+        budget is enforced, and every surviving entry loads intact."""
+        budget = 4000
+        errors: list[Exception] = []
+        barrier = threading.Barrier(4)
+
+        def writer(worker: int) -> None:
+            store = ArtifactStore(tmp_path / "store", size_budget_bytes=budget)
+            try:
+                barrier.wait()
+                for index in range(12):
+                    key = ArtifactStore.content_key(
+                        {"worker": worker, "index": index}
+                    )
+                    store.store_json(
+                        "shards", key, {"worker": worker, "pad": "y" * 300}
+                    )
+                    store.load_json("shards", key)  # hit or clean miss, never a crash
+            except Exception as error:  # pragma: no cover - the assertion target
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        audit = ArtifactStore(tmp_path / "store", size_budget_bytes=budget)
+        audit.evict_to_budget()
+        assert audit.size_bytes() <= budget
+        # Every survivor round-trips through the CRC check.
+        for path in audit.entries("shards"):
+            assert audit.load_json("shards", path.stem) is not None
+
+    def test_concurrent_writers_cannot_evict_pinned_partials(self, tmp_path):
+        """A pinned shard set survives a sibling pushing the store over
+        budget — the scale-out invariant run_shard/merge_shards rely on."""
+        store = ArtifactStore(tmp_path / "store")
+        protected = _fill(store, 3, prefix="protected")
+        _set_mtimes(store, protected)  # oldest → first eviction candidates
+        paths = [store._entry_path("shards", key) for key in protected]
+        entry_size = paths[0].stat().st_size
+        with store.pinned("sweep", paths):
+            writer = ArtifactStore(
+                tmp_path / "store", size_budget_bytes=4 * entry_size
+            )
+            _fill(writer, 6, prefix="pressure")
+            for key in protected:
+                assert store.load_json("shards", key) is not None
