@@ -13,7 +13,10 @@ The library implements, in pure Python + numpy:
   regenerates every table and figure of the paper's evaluation;
 * an async serving layer (``repro.serve``): dynamic batching, admission
   control, a TCP daemon + client and an open-loop load generator, with
-  responses bit-identical to the offline ``Session.run_model`` path;
+  responses bit-identical to the offline ``Session.run_model`` path —
+  scaled out by a supervised worker fleet (``repro.serve.fleet``) with
+  heartbeat health checks, restart backoff, per-worker circuit breakers,
+  deadline propagation and a seeded chaos-acceptance harness;
 * a reliability layer (``repro.reliability``): seeded SRAM bit-flip
   injection into packed compressed storage, ECC protection (parity,
   SECDED(72,64)) with storage/read-energy costs, and a degradation
@@ -91,7 +94,7 @@ from repro.serve import BatchPolicy, Server, ServeResponse, run_open_loop
 from repro.store import ArtifactStore
 from repro.workloads import ALL_BENCHMARKS, BENCHMARK_NAMES, LayerSpec, WorkloadBuilder
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ALL_BENCHMARKS",

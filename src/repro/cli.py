@@ -428,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=0,
         help="daemon listen port (0 = pick an ephemeral port and print it)",
     )
+    serve_parser.add_argument(
+        "--chaos", action="store_true",
+        help="honour 'chaos' protocol requests (latency injection for the "
+             "chaos harness; never enable on a real deployment)",
+    )
     serve_sub = serve_parser.add_subparsers(dest="serve_command", required=False)
     serve_bench_parser = serve_sub.add_parser(
         "bench", parents=[serve_common],
@@ -464,6 +469,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="after the sweep, re-run every request through the offline "
              "Session.run_model path and require bit-identical outputs",
+    )
+
+    serve_status_parser = serve_sub.add_parser(
+        "status", help="health-probe a running daemon (models, queue, uptime)"
+    )
+    serve_status_parser.add_argument(
+        "--connect", type=str, required=True, metavar="HOST:PORT",
+        help="daemon to probe",
+    )
+
+    serve_fleet_parser = serve_sub.add_parser(
+        "fleet", parents=[serve_common],
+        help="run a supervised multi-worker daemon fleet (heartbeats, "
+             "backoff restarts, crash-loop budget)",
+    )
+    serve_fleet_parser.add_argument(
+        "--workers", type=int, default=3, help="daemon worker processes"
+    )
+    serve_fleet_parser.add_argument(
+        "--host", type=str, default="127.0.0.1", help="worker listen address"
+    )
+    serve_fleet_parser.add_argument(
+        "--port", type=int, default=0,
+        help="first worker port, worker i gets port+i "
+             "(0 = fresh ephemeral ports)",
+    )
+    serve_fleet_parser.add_argument(
+        "--chaos", action="store_true",
+        help="start every worker with chaos hooks enabled (test fleets only)",
+    )
+
+    serve_chaos_parser = serve_sub.add_parser(
+        "chaos", parents=[serve_common],
+        help="chaos acceptance run: a worker fleet under closed-loop load "
+             "with a seeded kill/stall/corruption plan and bit verification",
+    )
+    serve_chaos_parser.add_argument(
+        "--workers", type=int, default=3, help="fleet worker processes"
+    )
+    serve_chaos_parser.add_argument(
+        "--requests", type=int, default=300, help="closed-loop requests to issue"
+    )
+    serve_chaos_parser.add_argument(
+        "--closed-loop", type=int, default=8, metavar="N",
+        help="closed-loop concurrency (N in-flight requests)",
+    )
+    serve_chaos_parser.add_argument(
+        "--input-seed", type=int, default=1, help="RNG seed for request vectors"
+    )
+    serve_chaos_parser.add_argument(
+        "--chaos-seed", type=int, default=0, help="RNG seed for the fault plan"
+    )
+    serve_chaos_parser.add_argument(
+        "--duration", type=float, default=6.0,
+        help="fault-plan window in seconds (events are scheduled inside it)",
+    )
+    serve_chaos_parser.add_argument(
+        "--kills", type=int, default=2, help="SIGKILL events in the plan"
+    )
+    serve_chaos_parser.add_argument(
+        "--stalls", type=int, default=1, help="latency-injection events in the plan"
+    )
+    serve_chaos_parser.add_argument(
+        "--corruptions", type=int, default=1,
+        help="artifact-store corruption events in the plan",
+    )
+    serve_chaos_parser.add_argument(
+        "--verify", action="store_true",
+        help="bit-compare every completed response against the offline "
+             "Session.run_model path",
+    )
+    serve_chaos_parser.add_argument(
+        "--compare-single", action="store_true",
+        help="also run the same load chaos-free against the fleet and "
+             "against one worker, requiring fleet throughput >= "
+             "--min-speedup x single",
+    )
+    serve_chaos_parser.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="required fleet/single throughput ratio for --compare-single",
     )
     return parser
 
@@ -1002,6 +1087,7 @@ def _build_serve_server(args: argparse.Namespace):
         ),
         store=_store_for(args),
         pipeline=not args.no_pipeline,
+        chaos=getattr(args, "chaos", False),
     )
 
 
@@ -1231,9 +1317,275 @@ def _serve_bench_inputs(args: argparse.Namespace, model, description):
     return rng.uniform(0.1, 1.0, size=(args.requests, description["input_size"]))
 
 
+def _parse_connect(text: str, what: str) -> tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(f"{what}: --connect expects HOST:PORT")
+    return host, int(port_text)
+
+
+def _serve_worker_args(args: argparse.Namespace, chaos: bool = False) -> list[str]:
+    """Rebuild the daemon argument vector one fleet worker should run with.
+
+    The supervisor spawns ``python -m repro.cli serve <these args> --host
+    H --port P``, so every ``serve_common`` flag the operator passed to
+    ``serve fleet`` / ``serve chaos`` must round-trip through here.
+    """
+    worker = [
+        "--models", *args.models,
+        "--engine", args.engine,
+        "--pes", str(args.pes),
+        "--fifo-depth", str(args.fifo_depth),
+        "--max-batch", str(args.max_batch),
+        "--max-wait-us", str(args.max_wait_us),
+        "--queue-depth", str(args.queue_depth),
+    ]
+    if args.scale is not None:
+        worker += ["--scale", str(args.scale)]
+    if args.seed is not None:
+        worker += ["--seed", str(args.seed)]
+    if args.density is not None:
+        worker += ["--density", str(args.density)]
+    if args.no_pipeline:
+        worker.append("--no-pipeline")
+    if args.no_store:
+        worker.append("--no-store")
+    if chaos or getattr(args, "chaos", False):
+        worker.append("--chaos")
+    return worker
+
+
+def _run_serve_status(args: argparse.Namespace) -> str:
+    """``serve status``: one-shot health probe of a running daemon."""
+    import asyncio
+
+    from repro.serve import AsyncServeClient
+
+    host, port = _parse_connect(args.connect, "serve status")
+
+    async def probe() -> dict:
+        client = await AsyncServeClient.connect(host, port)
+        try:
+            return await client.health()
+        finally:
+            await client.close()
+
+    health = asyncio.run(probe())
+    rows = [
+        ["Endpoint", f"{host}:{port}"],
+        ["PID", str(health["pid"])],
+        ["Engine", health["engine"]],
+        ["Models", ", ".join(health["models"])],
+        ["Queue depth", health["queue_depth"]],
+        ["Served", health["served"]],
+        ["Rejected", health["rejected"]],
+        ["Uptime (s)", f"{health['uptime_s']:.1f}"],
+        ["Draining", health["draining"]],
+        ["Chaos hooks", health["chaos"]],
+    ]
+    return "repro-serve status:\n" + format_table(["Field", "Value"], rows)
+
+
+def _run_serve_fleet(args: argparse.Namespace) -> str:
+    """``serve fleet``: a supervised multi-worker daemon fleet."""
+    import asyncio
+    import signal
+
+    from repro.serve import FleetSupervisor
+
+    if args.workers < 1:
+        raise SystemExit("serve fleet: --workers must be >= 1")
+
+    async def fleet() -> str:
+        supervisor = FleetSupervisor(
+            _serve_worker_args(args),
+            workers=args.workers,
+            host=args.host,
+            base_port=args.port,
+        )
+        await supervisor.start()
+        for index, endpoint in enumerate(supervisor.endpoints()):
+            host, port = endpoint
+            print(f"repro-fleet: worker {index} listening on {host}:{port}", flush=True)
+        print(
+            f"repro-fleet: {args.workers} workers up "
+            f"(models: {', '.join(args.models)}; engine {args.engine})",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("repro-fleet: draining...", flush=True)
+        stats = await supervisor.close()
+        return (
+            f"repro-fleet: drained ({stats['restarts']} restarts, "
+            f"{stats['wedged_kills']} wedged kills, "
+            f"{stats['crash_loops']} crash loops)"
+        )
+
+    return asyncio.run(fleet())
+
+
+def _run_serve_chaos(args: argparse.Namespace) -> str:
+    """``serve chaos``: the fleet chaos acceptance run.
+
+    Boots a worker fleet, drives a closed-loop load through the failover
+    client while the seeded fault plan kills/stalls/corrupts, then asserts
+    the resilience invariants (and, with ``--verify``, zero wrong bits).
+    Exits non-zero on any violation so CI can gate on it.
+    """
+    import asyncio
+
+    from repro.serve import ChaosPlan, FleetPolicy
+    from repro.serve.chaos import run_chaos_acceptance
+
+    if args.workers < 1:
+        raise SystemExit("serve chaos: --workers must be >= 1")
+    if args.requests < 1:
+        raise SystemExit("serve chaos: --requests must be >= 1")
+
+    spec = ModelSpec(model=args.models[0], scale=args.scale, seed=args.seed)
+    model = ModelRegistry.build(spec)
+    inputs = synthetic_model_inputs(model, batch=args.requests, seed=args.input_seed)
+    plan = ChaosPlan.generate(
+        seed=args.chaos_seed,
+        workers=args.workers,
+        duration_s=args.duration,
+        kills=args.kills,
+        stalls=args.stalls,
+        corruptions=args.corruptions,
+    )
+    store_root = None if args.no_store or not store_enabled() else default_store_root()
+    # Snappy restarts: a chaos run wants recovery measured in hundreds of
+    # milliseconds, not the production-friendly defaults.
+    policy = FleetPolicy(
+        heartbeat_s=0.3,
+        restart_initial_s=0.2,
+        restart_max_s=2.0,
+        stable_after_s=5.0,
+    )
+    outcome = asyncio.run(
+        run_chaos_acceptance(
+            _serve_worker_args(args, chaos=True),
+            inputs,
+            args.models[0],
+            workers=args.workers,
+            concurrency=args.closed_loop,
+            plan=plan,
+            policy=policy,
+            store_root=store_root,
+        )
+    )
+
+    lines = ["Chaos plan:"]
+    lines.append(format_table(
+        ["t (s)", "Fault", "Worker", "Applied"],
+        [
+            [entry["at_s"], entry["kind"], entry.get("worker", "-"),
+             entry.get("applied", True)]
+            for entry in outcome.chaos_log
+        ],
+    ))
+    record = outcome.report.record()
+    lines.append("\nLoad under chaos:")
+    lines.append(format_table(
+        ["Requests", "Done", "Rej", "Retriable", "Err", "Throughput (rps)", "p99 (ms)"],
+        [[record["requests"], record["completed"], record["rejected"],
+          record["retriable"], record["errors"],
+          f"{record['throughput_rps']:.1f}", f"{record['p99_ms']:.3f}"]],
+    ))
+    stats = outcome.fleet_stats
+    lines.append(
+        f"\nfleet: {stats['restarts']} restarts for {plan.kills} kills, "
+        f"{stats['wedged_kills']} wedged kills, "
+        f"{outcome.client_stats['failovers']} client failovers"
+    )
+
+    if args.verify:
+        config = EIEConfig(num_pes=args.pes, fifo_depth=args.fifo_depth)
+        session = Session(
+            CompressionConfig(target_density=args.density), config=config
+        )
+        try:
+            verdict = _serve_bench_offline_verify(
+                model, session, args.engine, config, inputs, [outcome.report]
+            )
+        except SystemExit as exc:
+            raise SystemExit(f"serve chaos: {exc}") from None
+        lines.append(verdict + " (0 verification mismatches)")
+
+    if args.compare_single:
+        lines.append(_serve_chaos_compare_single(args, inputs))
+
+    if outcome.violations:
+        print("\n".join(lines), flush=True)
+        raise SystemExit(
+            "serve chaos: INVARIANT VIOLATIONS\n  - "
+            + "\n  - ".join(outcome.violations)
+        )
+    lines.append("chaos: RECOVERED — all workers healthy, invariants held")
+    return "\n".join(lines)
+
+
+def _serve_chaos_compare_single(args: argparse.Namespace, inputs) -> str:
+    """Fault-free throughput gate: an N-worker fleet must beat one worker."""
+    import asyncio
+
+    from repro.serve import FleetClient, FleetSupervisor, run_closed_loop
+
+    # Both sides get the same total concurrency, sized so every worker in
+    # the *fleet* run sees `--closed-loop` concurrent requests — otherwise
+    # round-robin dilutes each worker's batches and the comparison measures
+    # batching efficiency, not scale-out.
+    concurrency = args.closed_loop * args.workers
+
+    async def measure(workers: int) -> float:
+        supervisor = FleetSupervisor(_serve_worker_args(args), workers=workers)
+        async with supervisor:
+            client = await FleetClient.connect(
+                supervisor.endpoints, route_window=args.max_batch
+            )
+            try:
+                report = await run_closed_loop(
+                    lambda vector: client.infer(args.models[0], vector),
+                    inputs,
+                    concurrency=concurrency,
+                )
+            finally:
+                await client.close()
+        if report.completed != report.requests:
+            raise SystemExit(
+                f"serve chaos: fault-free comparison run lost requests "
+                f"({report.completed}/{report.requests} completed)"
+            )
+        return report.throughput_rps
+
+    fleet_rps = asyncio.run(measure(args.workers))
+    single_rps = asyncio.run(measure(1))
+    ratio = fleet_rps / single_rps if single_rps > 0 else float("inf")
+    line = (
+        f"throughput: fleet({args.workers}) {fleet_rps:.1f} rps vs "
+        f"single {single_rps:.1f} rps ({ratio:.2f}x)"
+    )
+    if ratio < args.min_speedup:
+        raise SystemExit(
+            f"serve chaos: {line} — below the required {args.min_speedup:.2f}x"
+        )
+    return line
+
+
 def _run_serve_command(args: argparse.Namespace) -> str:
-    if getattr(args, "serve_command", None) == "bench":
+    serve_command = getattr(args, "serve_command", None)
+    if serve_command == "bench":
         return _run_serve_bench(args)
+    if serve_command == "status":
+        return _run_serve_status(args)
+    if serve_command == "fleet":
+        return _run_serve_fleet(args)
+    if serve_command == "chaos":
+        return _run_serve_chaos(args)
     return _run_serve_daemon(args)
 
 

@@ -107,3 +107,94 @@ class ServerOverloadedError(ServeError):
     def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline expired before it could be served.
+
+    The server sheds doomed work early: a queued request whose propagated
+    ``deadline_s`` passes before its batch dispatches is failed with this
+    error instead of being computed.  The request was never run, so a retry
+    (with a fresh deadline) is always safe.
+
+    Attributes:
+        deadline_s: the relative deadline that expired, in seconds.
+    """
+
+    def __init__(self, message: str, deadline_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_s = float(deadline_s)
+
+
+class FleetError(ReproError):
+    """Raised when the multi-worker serve fleet is misused or gives up.
+
+    Attributes:
+        worker_id: index of the worker the failure concerns (``None`` for
+            fleet-wide conditions).
+    """
+
+    def __init__(self, message: str, worker_id: int | None = None) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+
+
+class WorkerCrashedError(FleetError):
+    """Raised when a fleet worker process died (or was unreachable).
+
+    Attributes:
+        worker_id: index of the crashed worker.
+        restarts: how many times the supervisor has restarted it so far.
+        retry_after_s: suggested back-off — roughly the worker's pending
+            restart delay, so a retry lands after the replacement is up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: int | None = None,
+        restarts: int = 0,
+        retry_after_s: float = 0.0,
+    ) -> None:
+        super().__init__(message, worker_id=worker_id)
+        self.restarts = int(restarts)
+        self.retry_after_s = float(retry_after_s)
+
+
+class CircuitOpenError(FleetError):
+    """Raised when a request finds every eligible worker's breaker open.
+
+    Attributes:
+        worker_id: the single worker concerned, or ``None`` when the whole
+            fleet was open.
+        retry_after_s: seconds until the soonest breaker half-opens and
+            will admit a probe request again.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        worker_id: int | None = None,
+        retry_after_s: float = 0.0,
+    ) -> None:
+        super().__init__(message, worker_id=worker_id)
+        self.retry_after_s = float(retry_after_s)
+
+
+#: Errors a serve/fleet caller may safely retry: the request was rejected,
+#: shed, or lost before completing, never half-applied (inference is pure,
+#: so even a request recomputed after a worker crash is merely idempotent
+#: work, not a correctness hazard).
+RETRIABLE_SERVE_ERRORS = (
+    ServerOverloadedError,
+    ServeTimeoutError,
+    ServerClosedError,
+    DeadlineExceededError,
+    WorkerCrashedError,
+    CircuitOpenError,
+)
+
+
+def is_retriable(error: BaseException) -> bool:
+    """Whether a serving-path failure is a typed, safely-retriable error."""
+    return isinstance(error, RETRIABLE_SERVE_ERRORS)

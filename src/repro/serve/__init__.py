@@ -17,7 +17,15 @@ cycle engine vectorizes, without changing a single answer bit.
   generation with p50/p99/throughput reporting
   (:mod:`repro.serve.loadgen`);
 * :func:`start_daemon` / :class:`AsyncServeClient` — the JSON-lines TCP
-  daemon and its client (:mod:`repro.serve.protocol`).
+  daemon and its client (:mod:`repro.serve.protocol`);
+* :class:`FleetSupervisor` / :class:`FleetClient` /
+  :class:`CircuitBreaker` / :class:`RestartBackoff` — process-level fault
+  tolerance: N supervised daemon workers with heartbeat health checks and
+  backoff restarts, plus the failover client with per-worker circuit
+  breakers and deadline propagation (:mod:`repro.serve.fleet`);
+* :class:`ChaosPlan` / :func:`run_chaos_acceptance` — seeded kill/stall/
+  corruption plans proving the fleet's invariants under load
+  (:mod:`repro.serve.chaos`).
 
 Typical use::
 
@@ -37,6 +45,14 @@ serving performance is tracked exactly like the paper figures.  See
 ``docs/ARCHITECTURE.md`` ("The serving layer").
 """
 
+from repro.serve.chaos import ChaosEvent, ChaosPlan, run_chaos_acceptance
+from repro.serve.fleet import (
+    CircuitBreaker,
+    FleetClient,
+    FleetPolicy,
+    FleetSupervisor,
+    RestartBackoff,
+)
 from repro.serve.loadgen import LoadReport, run_closed_loop, run_open_loop
 from repro.serve.pipeline import ModelPipeline
 from repro.serve.protocol import AsyncServeClient, start_daemon
@@ -45,10 +61,18 @@ from repro.serve.server import BatchPolicy, Server, ServeResponse
 __all__ = [
     "AsyncServeClient",
     "BatchPolicy",
+    "ChaosEvent",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "FleetClient",
+    "FleetPolicy",
+    "FleetSupervisor",
     "LoadReport",
     "ModelPipeline",
+    "RestartBackoff",
     "ServeResponse",
     "Server",
+    "run_chaos_acceptance",
     "run_closed_loop",
     "run_open_loop",
     "start_daemon",

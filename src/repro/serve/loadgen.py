@@ -32,7 +32,11 @@ from typing import Any, Awaitable, Callable
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ServerOverloadedError
+from repro.errors import (
+    RETRIABLE_SERVE_ERRORS,
+    ConfigurationError,
+    ServerOverloadedError,
+)
 from repro.utils.rng import derive_seed, make_rng
 
 __all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
@@ -65,6 +69,11 @@ class LoadReport:
     mode: str = "open"
     #: Worker count of a closed-loop run (``None`` for open loop).
     concurrency: int | None = None
+    #: Requests that failed with a *typed retriable* error other than
+    #: overload (timeout, deadline shed, open breaker, crashed worker).
+    #: Distinct from ``errors``, which counts unexpected failures — under a
+    #: chaos run the invariant is ``errors == 0``.
+    retriable: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -106,6 +115,7 @@ class LoadReport:
             "requests": self.requests,
             "completed": self.completed,
             "rejected": self.rejected,
+            "retriable": self.retriable,
             "errors": self.errors,
             "duration_s": self.duration_s,
             "throughput_rps": self.throughput_rps,
@@ -160,7 +170,7 @@ async def run_open_loop(
     sim_cycles: list[int] = []
     outputs: list[np.ndarray | None] = [None] * count
     responses: list[Any] = []
-    counters = {"completed": 0, "rejected": 0, "errors": 0}
+    counters = {"completed": 0, "rejected": 0, "retriable": 0, "errors": 0}
 
     start = time.perf_counter()
 
@@ -173,6 +183,9 @@ async def run_open_loop(
             response = await submit(inputs[index])
         except ServerOverloadedError:
             counters["rejected"] += 1
+            return
+        except RETRIABLE_SERVE_ERRORS:
+            counters["retriable"] += 1
             return
         except Exception:
             counters["errors"] += 1
@@ -205,6 +218,7 @@ async def run_open_loop(
         outputs=[value for value in outputs] if capture_outputs else None,
         responses=responses,
         mode="open",
+        retriable=counters["retriable"],
     )
 
 
@@ -248,7 +262,7 @@ async def run_closed_loop(
     sim_cycles: list[int] = []
     outputs: list[np.ndarray | None] = [None] * count
     responses: list[Any] = []
-    counters = {"completed": 0, "rejected": 0, "errors": 0}
+    counters = {"completed": 0, "rejected": 0, "retriable": 0, "errors": 0}
     next_index = iter(range(count))
 
     start = time.perf_counter()
@@ -260,6 +274,9 @@ async def run_closed_loop(
                 response = await submit(inputs[index])
             except ServerOverloadedError:
                 counters["rejected"] += 1
+                continue
+            except RETRIABLE_SERVE_ERRORS:
+                counters["retriable"] += 1
                 continue
             except Exception:
                 counters["errors"] += 1
@@ -293,4 +310,5 @@ async def run_closed_loop(
         responses=responses,
         mode="closed",
         concurrency=concurrency,
+        retriable=counters["retriable"],
     )

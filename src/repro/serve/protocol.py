@@ -7,14 +7,24 @@ dynamic batcher something to coalesce.
 
 Operations::
 
-    {"id": 7, "op": "infer", "model": "neuraltalk_lstm", "input": [...]}
+    {"id": 7, "op": "infer", "model": "neuraltalk_lstm", "input": [...],
+     "deadline_s": 2.5}
     {"id": 8, "op": "models"}
     {"id": 9, "op": "stats"}
+    {"id": 10, "op": "health"}
+    {"id": 11, "op": "chaos", "latency_s": 0.05, "duration_s": 1.0}
     {"id": 0, "op": "ping"}
+
+``deadline_s`` is a *relative* deadline (seconds from receipt, so no clock
+sync between hosts is needed); a request still queued when it expires is
+shed with a ``deadline_exceeded`` error instead of being computed.
+``health`` is the supervisor's heartbeat verb; ``chaos`` is honoured only
+by daemons started with ``--chaos``.
 
 Successful ``infer`` responses mirror :class:`~repro.serve.server
 .ServeResponse`; failures are ``{"ok": false, "error": <kind>, ...}`` with
-kind ``"overloaded"`` (plus ``retry_after_s``), ``"closed"`` or
+kind ``"overloaded"`` (plus ``retry_after_s``), ``"deadline_exceeded"``,
+``"circuit_open"``, ``"worker_crashed"``, ``"closed"`` or
 ``"bad_request"``, which :class:`AsyncServeClient` maps back onto the
 typed :mod:`repro.errors` exceptions.  Floats cross the wire as JSON
 numbers, which Python serializes via ``repr`` (shortest round-trip form),
@@ -31,10 +41,14 @@ from typing import Any
 import numpy as np
 
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
     ServeError,
     ServeTimeoutError,
     ServerClosedError,
     ServerOverloadedError,
+    WorkerCrashedError,
 )
 from repro.serve.server import Server, ServeResponse
 
@@ -53,9 +67,66 @@ def _error_payload(request_id: Any, exc: BaseException) -> dict[str, Any]:
             "message": str(exc),
             "retry_after_s": exc.retry_after_s,
         }
+    if isinstance(exc, DeadlineExceededError):
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": "deadline_exceeded",
+            "message": str(exc),
+            "deadline_s": exc.deadline_s,
+        }
+    if isinstance(exc, CircuitOpenError):
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": "circuit_open",
+            "message": str(exc),
+            "worker_id": exc.worker_id,
+            "retry_after_s": exc.retry_after_s,
+        }
+    if isinstance(exc, WorkerCrashedError):
+        return {
+            "id": request_id,
+            "ok": False,
+            "error": "worker_crashed",
+            "message": str(exc),
+            "worker_id": exc.worker_id,
+            "restarts": exc.restarts,
+            "retry_after_s": exc.retry_after_s,
+        }
     if isinstance(exc, ServerClosedError):
         return {"id": request_id, "ok": False, "error": "closed", "message": str(exc)}
     return {"id": request_id, "ok": False, "error": "bad_request", "message": str(exc)}
+
+
+def _error_from_payload(payload: dict[str, Any]) -> ReproError:
+    """The inverse of :func:`_error_payload`: wire kind → typed exception."""
+    kind = payload.get("error")
+    text = payload.get("message", "server error")
+    if kind == "overloaded":
+        return ServerOverloadedError(
+            text, retry_after_s=float(payload.get("retry_after_s", 0.0))
+        )
+    if kind == "deadline_exceeded":
+        return DeadlineExceededError(
+            text, deadline_s=float(payload.get("deadline_s", 0.0))
+        )
+    if kind == "circuit_open":
+        return CircuitOpenError(
+            text,
+            worker_id=payload.get("worker_id"),
+            retry_after_s=float(payload.get("retry_after_s", 0.0)),
+        )
+    if kind == "worker_crashed":
+        return WorkerCrashedError(
+            text,
+            worker_id=payload.get("worker_id"),
+            restarts=int(payload.get("restarts", 0)),
+            retry_after_s=float(payload.get("retry_after_s", 0.0)),
+        )
+    if kind == "closed":
+        return ServerClosedError(text)
+    return ServeError(text)
 
 
 async def _handle_message(server: Server, message: dict[str, Any]) -> dict[str, Any]:
@@ -67,7 +138,18 @@ async def _handle_message(server: Server, message: dict[str, Any]) -> dict[str, 
             vector = message.get("input")
             if not isinstance(model, str) or vector is None:
                 raise ServeError("infer needs a 'model' name and an 'input' vector")
-            response = await server.submit(model, np.asarray(vector, dtype=np.float64))
+            deadline_s = message.get("deadline_s")
+            if deadline_s is not None and (
+                not isinstance(deadline_s, (int, float)) or deadline_s <= 0
+            ):
+                raise ServeError(
+                    f"'deadline_s' must be a positive number, got {deadline_s!r}"
+                )
+            response = await server.submit(
+                model,
+                np.asarray(vector, dtype=np.float64),
+                deadline_s=None if deadline_s is None else float(deadline_s),
+            )
             return {
                 "id": request_id,
                 "ok": True,
@@ -88,6 +170,14 @@ async def _handle_message(server: Server, message: dict[str, Any]) -> dict[str, 
             }
         if op == "stats":
             return {"id": request_id, "ok": True, "stats": server.stats()}
+        if op == "health":
+            return {"id": request_id, "ok": True, "health": server.health()}
+        if op == "chaos":
+            injected = server.inject_chaos(
+                float(message.get("latency_s", 0.0)),
+                float(message.get("duration_s", 0.0)),
+            )
+            return {"id": request_id, "ok": True, "chaos": injected}
         if op == "ping":
             return {"id": request_id, "ok": True, "pong": True}
         raise ServeError(f"unknown operation {op!r}")
@@ -286,15 +376,7 @@ class AsyncServeClient:
             ) from None
         if payload.get("ok"):
             return payload
-        kind = payload.get("error")
-        text = payload.get("message", "server error")
-        if kind == "overloaded":
-            raise ServerOverloadedError(
-                text, retry_after_s=float(payload.get("retry_after_s", 0.0))
-            )
-        if kind == "closed":
-            raise ServerClosedError(text)
-        raise ServeError(text)
+        raise _error_from_payload(payload)
 
     async def infer(
         self,
@@ -303,16 +385,34 @@ class AsyncServeClient:
         *,
         timeout_s: float | None = None,
         retries: int | None = None,
+        deadline_s: float | None = None,
     ) -> ServeResponse:
         """One inference request; returns a :class:`ServeResponse`.
 
         ``timeout_s`` / ``retries`` override the client-wide defaults for
         this call.  Retries apply only to ``overloaded`` rejections (waiting
-        at least the server's ``retry_after_s`` hint) and to timeouts, with
-        exponential backoff; ``closed`` and ``bad_request`` fail immediately.
+        at least the server's ``retry_after_s`` hint), to server-side
+        ``deadline_exceeded`` shedding, and to timeouts, with exponential
+        backoff; ``closed`` and ``bad_request`` fail immediately.
+
+        ``deadline_s`` is propagated in the request envelope so the server
+        can shed the request if it cannot possibly be answered in time; it
+        defaults to the effective ``timeout_s``, which makes the server-side
+        deadline match what this client will actually wait.
         """
         vector = np.asarray(vector, dtype=np.float64)
-        message = {"op": "infer", "model": model, "input": vector.tolist()}
+        message: dict[str, Any] = {
+            "op": "infer",
+            "model": model,
+            "input": vector.tolist(),
+        }
+        effective_deadline = (
+            deadline_s
+            if deadline_s is not None
+            else (self.timeout_s if timeout_s is None else timeout_s)
+        )
+        if effective_deadline is not None:
+            message["deadline_s"] = float(effective_deadline)
         attempts = (self.retries if retries is None else int(retries)) + 1
         delay = self.backoff_s
         payload: dict[str, Any] | None = None
@@ -325,7 +425,7 @@ class AsyncServeClient:
                     raise
                 await asyncio.sleep(max(exc.retry_after_s, delay))
                 delay *= 2
-            except ServeTimeoutError:
+            except (ServeTimeoutError, DeadlineExceededError):
                 if attempt == attempts - 1:
                     raise
                 await asyncio.sleep(delay)
@@ -349,6 +449,18 @@ class AsyncServeClient:
     async def stats(self) -> dict[str, Any]:
         """The server's live counter snapshot."""
         return (await self._call({"op": "stats"}))["stats"]
+
+    async def health(self, timeout_s: float | None = None) -> dict[str, Any]:
+        """The server's liveness snapshot (models, queue depth, uptime)."""
+        return (await self._call({"op": "health"}, timeout_s=timeout_s))["health"]
+
+    async def chaos(self, latency_s: float, duration_s: float) -> dict[str, Any]:
+        """Ask a ``--chaos`` daemon to stall its dispatches (test harness)."""
+        return (
+            await self._call(
+                {"op": "chaos", "latency_s": latency_s, "duration_s": duration_s}
+            )
+        )["chaos"]
 
     async def ping(self) -> bool:
         """Liveness probe."""

@@ -25,6 +25,7 @@ queued requests are still served, new ones are rejected with
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -37,6 +38,7 @@ from repro.core.config import EIEConfig
 from repro.engine.session import Session
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
     ServeError,
     ServerClosedError,
     ServerOverloadedError,
@@ -106,12 +108,23 @@ class ServeResponse:
 
 
 class _PendingRequest:
-    __slots__ = ("vector", "future", "enqueued_at")
+    __slots__ = ("vector", "future", "enqueued_at", "deadline_at")
 
-    def __init__(self, vector: np.ndarray, future: asyncio.Future) -> None:
+    def __init__(
+        self,
+        vector: np.ndarray,
+        future: asyncio.Future,
+        deadline_s: float | None = None,
+    ) -> None:
         self.vector = vector
         self.future = future
         self.enqueued_at = time.perf_counter()
+        # Deadlines cross the wire *relative* (seconds from receipt), so two
+        # processes never need synchronized clocks; anchor to the local
+        # monotonic clock on arrival.
+        self.deadline_at = (
+            None if deadline_s is None else self.enqueued_at + deadline_s
+        )
 
 
 _SHUTDOWN = object()
@@ -140,6 +153,7 @@ class _ModelState:
             "received": 0,
             "served": 0,
             "rejected": 0,
+            "expired": 0,
             "errors": 0,
             "batches": 0,
             "max_batch": 0,
@@ -181,6 +195,7 @@ class Server:
         policy: BatchPolicy | None = None,
         store: Any | None = None,
         pipeline: bool = True,
+        chaos: bool = False,
     ) -> None:
         if not models:
             raise ConfigurationError("a server needs at least one model to serve")
@@ -197,6 +212,12 @@ class Server:
         self._started = False
         self._closing = False
         self._closed = False
+        self._started_at: float | None = None
+        # Chaos hooks (latency injection) are off unless explicitly enabled:
+        # a production daemon must not let a client slow it down.
+        self.chaos_enabled = bool(chaos)
+        self._chaos_latency_s = 0.0
+        self._chaos_until = 0.0
         # run_model/pipeline dispatches run here so the event loop stays free.
         self._executor = ThreadPoolExecutor(
             max_workers=4, thread_name_prefix="repro-serve-dispatch"
@@ -209,6 +230,7 @@ class Server:
         if self._started:
             raise ServeError("server is already started")
         self._started = True
+        self._started_at = time.monotonic()
         loop = asyncio.get_running_loop()
         built = await asyncio.gather(
             *(
@@ -295,8 +317,18 @@ class Server:
 
     # -- request path ------------------------------------------------------------
 
-    async def submit(self, model: str, vector: np.ndarray) -> ServeResponse:
-        """Serve one input vector; resolves when its batch has run."""
+    async def submit(
+        self, model: str, vector: np.ndarray, deadline_s: float | None = None
+    ) -> ServeResponse:
+        """Serve one input vector; resolves when its batch has run.
+
+        ``deadline_s`` is the request's relative deadline: if it expires
+        while the request is still queued, the request fails with
+        :class:`DeadlineExceededError` *without being computed* — doomed
+        work is shed before it wastes a dispatch slot.
+        """
+        if deadline_s is not None and deadline_s <= 0:
+            raise ServeError(f"deadline_s must be positive or None, got {deadline_s}")
         if self._closing or self._closed:
             raise ServerClosedError("server is shutting down")
         if not self._started:
@@ -323,7 +355,7 @@ class Server:
             )
         state.stats["received"] += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        state.queue.put_nowait(_PendingRequest(row, future))
+        state.queue.put_nowait(_PendingRequest(row, future, deadline_s=deadline_s))
         state.stats["queue_peak"] = max(state.stats["queue_peak"], state.queue.qsize())
         return await future
 
@@ -369,8 +401,37 @@ class Server:
                     )
                 return
 
+    def _shed_expired(
+        self, state: _ModelState, batch: list[_PendingRequest]
+    ) -> list[_PendingRequest]:
+        """Fail queued requests whose deadline passed; return the live rest."""
+        now = time.perf_counter()
+        live: list[_PendingRequest] = []
+        for pending in batch:
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                state.stats["expired"] += 1
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        DeadlineExceededError(
+                            f"request for {state.ir.name!r} expired after "
+                            f"{now - pending.enqueued_at:.3f}s in queue",
+                            deadline_s=pending.deadline_at - pending.enqueued_at,
+                        )
+                    )
+            else:
+                live.append(pending)
+        return live
+
     async def _dispatch(self, state: _ModelState, batch: list[_PendingRequest]) -> None:
         """Run one coalesced batch and resolve its futures."""
+        if self.chaos_enabled and self._chaos_latency_s > 0:
+            if time.monotonic() < self._chaos_until:
+                # Injected stall: the whole dispatch slot sleeps, so queues
+                # build up exactly as they would behind a slow worker.
+                await asyncio.sleep(self._chaos_latency_s)
+            else:
+                self._chaos_latency_s = 0.0
+        batch = self._shed_expired(state, batch)
         if not batch:
             return
         loop = asyncio.get_running_loop()
@@ -442,6 +503,50 @@ class Server:
             )
 
     # -- introspection -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """A cheap liveness/readiness snapshot (the ``health`` wire verb).
+
+        Small on purpose: the fleet supervisor polls this every heartbeat
+        interval, so it must not touch model state or the dispatch path.
+        """
+        served = rejected = queued = 0
+        for state in self._models.values():
+            served += state.stats["served"]
+            rejected += state.stats["rejected"]
+            queued += state.queue.qsize()
+        return {
+            "ok": self._started and not self._closing and not self._closed,
+            "pid": os.getpid(),
+            "models": sorted(self._models),
+            "engine": self.engine_name,
+            "queue_depth": queued,
+            "served": served,
+            "rejected": rejected,
+            "uptime_s": (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            ),
+            "draining": self._closing and not self._closed,
+            "chaos": self.chaos_enabled,
+        }
+
+    def inject_chaos(self, latency_s: float, duration_s: float) -> dict[str, Any]:
+        """Stall every dispatch by ``latency_s`` for the next ``duration_s``.
+
+        Only honoured when the server was built with ``chaos=True`` (the
+        daemon's ``--chaos`` flag); the chaos harness uses this to make a
+        worker *slow* rather than dead, which is the harder failure for a
+        failover client to get right.
+        """
+        if not self.chaos_enabled:
+            raise ServeError("chaos injection is disabled (start with chaos=True)")
+        if latency_s < 0 or duration_s < 0:
+            raise ServeError("chaos latency_s and duration_s must be >= 0")
+        self._chaos_latency_s = float(latency_s)
+        self._chaos_until = time.monotonic() + float(duration_s)
+        return {"latency_s": self._chaos_latency_s, "duration_s": float(duration_s)}
 
     @property
     def models(self) -> list[str]:

@@ -462,6 +462,82 @@ class TestServeCli:
             ])
 
 
+class TestServeFleetCli:
+    def test_serve_chaos_flag_parses_for_the_daemon(self):
+        args = build_parser().parse_args(["serve", "--chaos", "--port", "7471"])
+        assert args.serve_command is None
+        assert args.chaos is True
+        args = build_parser().parse_args(["serve"])
+        assert args.chaos is False
+
+    def test_serve_status_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "status", "--connect", "127.0.0.1:7471",
+        ])
+        assert args.serve_command == "status"
+        assert args.connect == "127.0.0.1:7471"
+
+    def test_serve_status_rejects_bad_connect(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            main(["serve", "status", "--connect", "nonsense"])
+
+    def test_serve_fleet_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "fleet", "--models", "neuraltalk_lstm", "--workers", "4",
+            "--scale", "64", "--chaos",
+        ])
+        assert args.serve_command == "fleet"
+        assert args.workers == 4
+        assert args.chaos is True
+        assert args.port == 0  # ephemeral worker ports by default
+
+    def test_serve_fleet_rejects_bad_workers(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["serve", "fleet", "--workers", "0"])
+
+    def test_serve_chaos_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "chaos", "--models", "neuraltalk_lstm", "--scale", "64",
+            "--workers", "3", "--kills", "2", "--stalls", "1",
+            "--corruptions", "1", "--chaos-seed", "5", "--verify",
+        ])
+        assert args.serve_command == "chaos"
+        assert (args.workers, args.kills, args.stalls, args.corruptions) == (3, 2, 1, 1)
+        assert args.chaos_seed == 5
+        assert args.verify is True
+        assert args.closed_loop == 8  # closed-loop concurrency default
+
+    def test_serve_chaos_rejects_bad_counts(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["serve", "chaos", "--workers", "0"])
+        with pytest.raises(SystemExit, match="requests"):
+            main(["serve", "chaos", "--requests", "0"])
+
+    def test_serve_worker_args_round_trip(self):
+        """Every serve_common flag survives the fleet → worker re-encoding."""
+        from repro.cli import _serve_worker_args
+
+        args = build_parser().parse_args([
+            "serve", "fleet", "--models", "neuraltalk_lstm", "alexnet_fc",
+            "--engine", "functional", "--scale", "64", "--seed", "9",
+            "--pes", "4", "--fifo-depth", "16", "--density", "0.25",
+            "--max-batch", "8", "--max-wait-us", "500", "--queue-depth", "64",
+            "--no-pipeline", "--no-store",
+        ])
+        worker = _serve_worker_args(args, chaos=True)
+        reparsed = build_parser().parse_args(["serve", *worker])
+        assert reparsed.models == ["neuraltalk_lstm", "alexnet_fc"]
+        assert reparsed.engine == "functional"
+        assert reparsed.scale == 64.0
+        assert reparsed.seed == 9
+        assert reparsed.pes == 4 and reparsed.fifo_depth == 16
+        assert reparsed.density == 0.25
+        assert reparsed.max_batch == 8 and reparsed.max_wait_us == 500.0
+        assert reparsed.queue_depth == 64
+        assert reparsed.no_pipeline and reparsed.no_store
+        assert reparsed.chaos is True
+
+
 SHARD_ARGV = [
     "--set", "scale=64", "--set", "workloads=Alex-7",
     "--set", "grid.fifo_depth=[1,8]", "--set", "config.num_pes=16",

@@ -1,0 +1,123 @@
+"""The chaos harness: seeded plans, fault application, store corruption.
+
+The full fleet-under-faults acceptance run lives in CI (``repro serve
+chaos`` with ``--verify``); these tests cover the harness itself — plan
+determinism, event validation, and that the store-corruption fault is
+*harmless by construction* (CRC detection → recompute, never wrong bits).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import ChaosEvent, ChaosPlan
+from repro.serve.chaos import _corrupt_store_file
+from repro.store import ArtifactStore
+
+
+class TestChaosEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos event kind"):
+            ChaosEvent(at_s=0.0, kind="meteor")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError, match="must be >= 0"):
+            ChaosEvent(at_s=-1.0, kind="kill")
+
+
+class TestChaosPlan:
+    def test_same_seed_same_plan(self):
+        first = ChaosPlan.generate(seed=7, workers=3, duration_s=10.0)
+        second = ChaosPlan.generate(seed=7, workers=3, duration_s=10.0)
+        assert first.events == second.events
+
+    def test_different_seed_different_plan(self):
+        first = ChaosPlan.generate(seed=7, workers=3, duration_s=10.0)
+        second = ChaosPlan.generate(seed=8, workers=3, duration_s=10.0)
+        assert first.events != second.events
+
+    def test_events_sorted_and_counted(self):
+        plan = ChaosPlan.generate(
+            seed=1, workers=4, duration_s=10.0, kills=3, stalls=2, corruptions=1
+        )
+        times = [event.at_s for event in plan.events]
+        assert times == sorted(times)
+        assert plan.kills == 3
+        assert sum(1 for e in plan.events if e.kind == "stall") == 2
+        assert sum(1 for e in plan.events if e.kind == "corrupt") == 1
+
+    def test_kills_land_mid_window(self):
+        plan = ChaosPlan.generate(seed=5, workers=2, duration_s=10.0, kills=8)
+        for event in plan.events:
+            if event.kind == "kill":
+                assert 1.0 <= event.at_s <= 7.0
+                assert 0 <= event.worker < 2
+
+    def test_describe_is_json_friendly(self):
+        plan = ChaosPlan.generate(seed=2, workers=2, duration_s=5.0)
+        rows = plan.describe()
+        assert len(rows) == len(plan.events)
+        assert {"at_s", "kind", "worker", "latency_s", "duration_s"} <= rows[0].keys()
+
+    def test_generate_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.generate(seed=0, workers=0, duration_s=1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosPlan.generate(seed=0, workers=1, duration_s=0.0)
+
+
+class TestStoreCorruption:
+    def test_corruption_is_detected_not_served(self, tmp_path):
+        """A corrupted artifact must read back as a miss, never as bad data."""
+        store = ArtifactStore(tmp_path)
+        store.store_json("shards", "victim", {"value": [1.0, 2.0, 3.0]})
+        assert store.load_json("shards", "victim") == {"value": [1.0, 2.0, 3.0]}
+
+        hit = _corrupt_store_file(tmp_path, ordinal=0)
+        assert hit is not None and "shards" in hit
+
+        # The CRC catches the damage: a miss (recompute), not wrong bits.
+        assert store.load_json("shards", "victim") is None
+
+    def test_corruption_target_is_deterministic(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for name in ("a", "b", "c"):
+            store.store_json("shards", name, {"name": name})
+        files_before = sorted(p.name for p in (tmp_path / "shards").glob("*.json"))
+        first = _corrupt_store_file(tmp_path, ordinal=1)
+        # Same ordinal over the same file set → the same victim.
+        assert _corrupt_store_file(tmp_path, ordinal=1) == first
+        assert sorted(
+            p.name for p in (tmp_path / "shards").glob("*.json")
+        ) == files_before
+
+    def test_empty_store_is_a_noop(self, tmp_path):
+        assert _corrupt_store_file(tmp_path, ordinal=0) is None
+
+    def test_corrupted_arrays_artifact_recomputes_identically(self, tmp_path):
+        """End to end through the compression cache: corrupt the cached
+        layer artifact, recompress, and get bit-identical weights back."""
+        from repro.compression import CompressionConfig
+        from repro.engine.session import Session
+        from repro.models import build_model, synthetic_model_inputs
+        from repro.core.config import EIEConfig
+
+        config = EIEConfig(num_pes=4)
+        model = build_model("neuraltalk_lstm", scale=64)
+        vector = synthetic_model_inputs(model, batch=1, seed=3)[0]
+
+        store = ArtifactStore(tmp_path)
+        session = Session(CompressionConfig(), config=config, store=store)
+        baseline = session.run_model("functional", model, vector, config).outputs[0]
+        assert list(tmp_path.glob("layers/*.npz")), "compression was not cached"
+
+        hit = _corrupt_store_file(tmp_path, ordinal=0)
+        assert hit is not None
+
+        fresh = Session(CompressionConfig(), config=config, store=store)
+        again = fresh.run_model("functional", model, vector, config).outputs[0]
+        assert np.array_equal(baseline, again)

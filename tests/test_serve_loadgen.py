@@ -260,3 +260,46 @@ class TestServeLatencyExperiment:
         assert record["errors"] == 0
         table = result.to_table()
         assert "offered load" in table and "400" in table
+
+
+class TestRetriablePartition:
+    """Typed retriable failures are a third bucket, separate from overload
+    rejections and from unexpected errors — the chaos invariant lives on
+    ``errors == 0`` while retriable failures are allowed and bounded."""
+
+    def test_typed_retriable_errors_counted_separately(self):
+        from repro.errors import DeadlineExceededError, WorkerCrashedError
+
+        calls = {"n": 0}
+
+        async def submit(vector):
+            calls["n"] += 1
+            if calls["n"] % 4 == 0:
+                raise WorkerCrashedError("gone", worker_id=0)
+            if calls["n"] % 4 == 1:
+                raise DeadlineExceededError("late", deadline_s=0.01)
+            if calls["n"] % 4 == 2:
+                raise ServerOverloadedError("full", retry_after_s=0.01)
+            return _FakeResponse(
+                batch_size=1, output=vector, latency_s=None, total_cycles=0
+            )
+
+        inputs = np.ones((20, 4))
+        report = asyncio.run(run_closed_loop(submit, inputs, concurrency=2))
+        assert report.retriable == 10  # crashed + deadline buckets
+        assert report.rejected == 5
+        assert report.completed == 5
+        assert report.errors == 0
+        assert (
+            report.completed + report.rejected + report.retriable + report.errors
+            == report.requests
+        )
+        assert report.record()["retriable"] == 10
+
+    def test_unexpected_exception_still_an_error(self):
+        async def submit(vector):
+            raise RuntimeError("not a typed serve failure")
+
+        inputs = np.ones((6, 4))
+        report = asyncio.run(run_closed_loop(submit, inputs, concurrency=2))
+        assert report.errors == 6 and report.retriable == 0

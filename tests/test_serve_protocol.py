@@ -369,3 +369,112 @@ class TestClientTimeoutAndRetry:
             AsyncServeClient(None, None, retries=-1)
         with pytest.raises(ServeError, match="backoff_s"):
             AsyncServeClient(None, None, backoff_s=-0.1)
+
+
+class TestHealthDeadlineAndChaosVerbs:
+    def test_health_round_trip(self, model):
+        async def scenario(client, server):
+            health = await client.health()
+            assert health["ok"] is True
+            assert health["models"] == [model.name]
+            assert health["engine"] == "cycle"
+            assert health["queue_depth"] == 0
+            assert health["uptime_s"] >= 0.0
+            assert health["chaos"] is False
+            assert isinstance(health["pid"], int)
+
+        _with_daemon(model, scenario)
+
+    def test_deadline_expiry_maps_to_typed_error_over_the_wire(self, model):
+        from repro.errors import DeadlineExceededError
+
+        async def scenario(client, server):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                await client.infer(
+                    model.name,
+                    np.zeros(model.input_size),
+                    deadline_s=1e-6,
+                    timeout_s=10.0,
+                )
+            assert excinfo.value.deadline_s == pytest.approx(1e-6)
+
+        # A long batching wait guarantees the tiny deadline expires queued.
+        _with_daemon(
+            model, scenario, policy=BatchPolicy(max_batch=8, max_wait_us=30_000.0)
+        )
+
+    def test_invalid_deadline_is_a_bad_request(self, model):
+        async def scenario(client, server):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", client._writer.get_extra_info("peername")[1]
+            )
+            try:
+                writer.write(
+                    json.dumps(
+                        {
+                            "id": 1, "op": "infer", "model": model.name,
+                            "input": [0.0] * model.input_size,
+                            "deadline_s": -2.0,
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                payload = json.loads(await reader.readline())
+                assert payload["ok"] is False
+                assert "deadline_s" in payload["message"]
+            finally:
+                writer.close()
+                await writer.wait_closed()
+
+        _with_daemon(model, scenario)
+
+    def test_chaos_verb_is_gated_by_the_server_flag(self, model):
+        async def scenario(client, server):
+            with pytest.raises(ServeError, match="chaos injection is disabled"):
+                await client.chaos(0.01, 1.0)
+
+        _with_daemon(model, scenario)
+
+    def test_chaos_verb_applies_when_enabled(self, model):
+        async def scenario(client, server):
+            applied = await client.chaos(0.02, 0.5)
+            assert applied == {"latency_s": 0.02, "duration_s": 0.5}
+
+        _with_daemon(model, scenario, chaos=True)
+
+
+class TestErrorPayloadDecoding:
+    """The wire error kinds decode back to the exact typed exceptions."""
+
+    def test_fleet_error_kinds_round_trip(self):
+        from repro.errors import (
+            CircuitOpenError,
+            DeadlineExceededError,
+            WorkerCrashedError,
+        )
+        from repro.serve.protocol import _error_from_payload, _error_payload
+
+        cases = [
+            DeadlineExceededError("late", deadline_s=0.25),
+            CircuitOpenError("open", worker_id=2, retry_after_s=0.5),
+            WorkerCrashedError("gone", worker_id=1, restarts=3, retry_after_s=0.1),
+            ServerOverloadedError("full", retry_after_s=0.05),
+        ]
+        for original in cases:
+            payload = _error_payload(7, original)
+            assert payload["ok"] is False
+            decoded = _error_from_payload(payload)
+            assert type(decoded) is type(original)
+            for attr in ("deadline_s", "worker_id", "restarts", "retry_after_s"):
+                if hasattr(original, attr):
+                    assert getattr(decoded, attr) == getattr(original, attr)
+
+    def test_unknown_kind_degrades_to_serve_error(self):
+        from repro.serve.protocol import _error_from_payload
+
+        decoded = _error_from_payload(
+            {"ok": False, "error": "mystery", "message": "weird"}
+        )
+        assert type(decoded) is ServeError
+        assert "weird" in str(decoded)

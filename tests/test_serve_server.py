@@ -255,3 +255,104 @@ class TestThroughput:
             f"dynamic batching must sustain >= 3x batch-1 dispatch, "
             f"got {speedup:.2f}x ({batch1_s * 1e3:.1f}ms vs {batched_s * 1e3:.1f}ms)"
         )
+
+
+class TestDeadlinesHealthAndChaos:
+    def test_expired_deadline_shed_with_typed_error(self, model):
+        """A request whose relative deadline lapses in the queue is failed
+        before compute — shed-before-work, the cheapest place to lose it."""
+        from repro.errors import DeadlineExceededError
+
+        async def drive():
+            # A large max_wait keeps the batcher holding the lone request
+            # long past its microscopic deadline.
+            policy = BatchPolicy(max_batch=8, max_wait_us=30_000.0)
+            async with Server([model], config=CONFIG, policy=policy) as server:
+                with pytest.raises(DeadlineExceededError) as excinfo:
+                    await server.submit(
+                        model.name, np.zeros(model.input_size), deadline_s=1e-6
+                    )
+                assert excinfo.value.deadline_s == pytest.approx(1e-6)
+                stats = server.stats()
+            assert stats["models"][model.name]["expired"] == 1
+            assert stats["models"][model.name]["served"] == 0
+
+        asyncio.run(drive())
+
+    def test_generous_deadline_completes_bit_identical(
+        self, model, requests_and_offline
+    ):
+        inputs, offline = requests_and_offline
+
+        async def drive():
+            async with Server([model], config=CONFIG) as server:
+                return await server.submit(model.name, inputs[0], deadline_s=60.0)
+
+        response = asyncio.run(drive())
+        assert np.array_equal(response.output, offline[0].outputs[0])
+
+    def test_invalid_deadline_rejected(self, model):
+        async def drive():
+            async with Server([model], config=CONFIG) as server:
+                with pytest.raises(ServeError, match="deadline_s"):
+                    await server.submit(
+                        model.name, np.zeros(model.input_size), deadline_s=0.0
+                    )
+
+        asyncio.run(drive())
+
+    def test_health_snapshot(self, model, requests_and_offline):
+        inputs, _ = requests_and_offline
+
+        async def drive():
+            async with Server([model], config=CONFIG) as server:
+                before = server.health()
+                await server.submit(model.name, inputs[0])
+                after = server.health()
+            closed = server.health()
+            return before, after, closed
+
+        before, after, closed = asyncio.run(drive())
+        assert before["ok"] is True
+        assert before["models"] == [model.name]
+        assert before["served"] == 0 and before["queue_depth"] == 0
+        assert after["served"] == 1
+        assert after["uptime_s"] >= before["uptime_s"]
+        assert closed["ok"] is False
+
+    def test_chaos_injection_gated_off_by_default(self, model):
+        async def drive():
+            async with Server([model], config=CONFIG) as server:
+                assert server.health()["chaos"] is False
+                with pytest.raises(ServeError, match="chaos injection is disabled"):
+                    server.inject_chaos(0.01, 1.0)
+
+        asyncio.run(drive())
+
+    def test_chaos_injection_stalls_dispatch_when_enabled(
+        self, model, requests_and_offline
+    ):
+        inputs, offline = requests_and_offline
+
+        async def drive():
+            async with Server([model], config=CONFIG, chaos=True) as server:
+                applied = server.inject_chaos(0.05, duration_s=5.0)
+                assert applied["latency_s"] == pytest.approx(0.05)
+                started = time.perf_counter()
+                response = await server.submit(model.name, inputs[0])
+                elapsed = time.perf_counter() - started
+            return response, elapsed
+
+        response, elapsed = asyncio.run(drive())
+        # Stalled, but still bit-identical: chaos may slow answers, never
+        # change them.
+        assert elapsed >= 0.05
+        assert np.array_equal(response.output, offline[0].outputs[0])
+
+    def test_chaos_parameter_validation(self, model):
+        async def drive():
+            async with Server([model], config=CONFIG, chaos=True) as server:
+                with pytest.raises(ServeError, match=">= 0"):
+                    server.inject_chaos(-0.1, 1.0)
+
+        asyncio.run(drive())

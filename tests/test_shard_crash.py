@@ -1,0 +1,136 @@
+"""Crash consistency of shard publication: SIGKILL mid-publish leaves no lie.
+
+A shard worker killed at the worst possible moment — after computing its
+records, inside the publish step — must leave either the complete artifact
+or nothing readable: the atomic tmp+rename protocol means a torn write can
+only ever be an orphaned ``.tmp`` file, never a partial artifact that
+``merge_shards`` would trust.  The child process here deterministically
+SIGKILLs itself at exactly that moment by intercepting ``os.replace`` for
+shard destinations (no timing races), and the parent then proves the
+three recovery properties: nothing published, the ``.tmp`` is sweepable,
+and the merge recomputes exactly the missing chunk to a byte-identical
+result.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentRegistry, ExperimentRunner
+from repro.shard import merge_shards, plan_shards, run_shard
+from repro.store import ArtifactStore
+
+SMALL = [
+    ("scale", 64),
+    ("workloads", ["Alex-7", "NT-We"]),
+    ("grid.fifo_depth", [1, 4, 8]),
+    ("config.num_pes", 16),
+]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# The child computes shard 1 normally, then dies by SIGKILL the instant the
+# publish rename targets the shards directory — records computed, artifact
+# not yet visible, .tmp on disk.  Deterministic: no sleeps, no polling.
+CRASH_CHILD = """
+import os, signal
+
+real_replace = os.replace
+def kill_on_shard_publish(src, dst, *args, **kwargs):
+    if os.sep + "shards" + os.sep in str(dst):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return real_replace(src, dst, *args, **kwargs)
+os.replace = kill_on_shard_publish
+
+from repro.experiments import ExperimentRegistry
+from repro.shard import plan_shards, run_shard
+from repro.store import ArtifactStore
+
+spec = ExperimentRegistry.get("fig8_fifo_depth").spec.with_overrides({overrides})
+plan = plan_shards(spec, shard_count=3)
+run_shard(plan, 1, ArtifactStore({root!r}))
+raise SystemExit("unreachable: the publish rename must have killed us")
+"""
+
+
+def _small_spec():
+    return ExperimentRegistry.get("fig8_fifo_depth").spec.with_overrides(SMALL)
+
+
+class TestShardCrashConsistency:
+    def test_sigkill_mid_publish_leaves_no_partial_and_merge_repairs(self, tmp_path):
+        root = tmp_path / "store"
+        spec = _small_spec()
+        plan = plan_shards(spec, shard_count=3)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        child = subprocess.run(
+            [sys.executable, "-c", CRASH_CHILD.format(overrides=SMALL, root=str(root))],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert child.returncode == -signal.SIGKILL, (
+            f"child should die by SIGKILL mid-publish, got rc={child.returncode}\n"
+            f"stdout: {child.stdout}\nstderr: {child.stderr}"
+        )
+
+        # Property 1: no partial/corrupt shard artifact became visible — the
+        # rename never happened, so the store reports a clean miss.
+        store = ArtifactStore(root)
+        assert store.load_json("shards", plan.shard_key(1)) is None
+        published = list((root / "shards").glob("*.json"))
+        assert published == []
+
+        # Property 2: the torn write is exactly one orphaned .tmp, and the
+        # sweeper collects it once it is old enough to be abandoned.
+        orphans = [
+            path for path in (root / "shards").iterdir() if path.suffix == ".tmp"
+        ]
+        assert len(orphans) == 1
+        assert store.sweep_stale_tmp(max_age_s=0.0) >= 1
+        assert not any(
+            path.suffix == ".tmp" for path in (root / "shards").iterdir()
+        )
+
+        # Property 3: the surviving shards publish fine, and the merge
+        # recomputes exactly the one missing chunk — byte-identical to a
+        # serial run of the whole spec.
+        run_shard(plan, 0, store)
+        run_shard(plan, 2, store)
+        fresh = ArtifactStore(root)
+        merged = merge_shards(plan, fresh)
+        shard_stats = fresh.stats()["by_kind"]["shards"]
+        assert shard_stats["stores"] == 1  # only shard 1 was recomputed
+        assert merged.to_json() == ExperimentRunner().run(spec).to_json()
+
+    def test_crash_then_rerun_publishes_normally(self, tmp_path):
+        """The crashed shard's own retry (the scheduler's restart path)
+        publishes cleanly over the orphaned .tmp."""
+        root = tmp_path / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        child = subprocess.run(
+            [sys.executable, "-c", CRASH_CHILD.format(overrides=SMALL, root=str(root))],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert child.returncode == -signal.SIGKILL
+
+        store = ArtifactStore(root)
+        plan = plan_shards(_small_spec(), shard_count=3)
+        summary = run_shard(plan, 1, store)
+        assert summary["cached"] is False
+        payload = store.load_json("shards", plan.shard_key(1))
+        assert payload is not None
+        assert payload["shard_id"] == 1
